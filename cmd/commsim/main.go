@@ -1,0 +1,52 @@
+// Command commsim runs the group-communication comparisons of §3.2 with
+// tunable parameters: deliverability under server failures across the four
+// deployment models (experiment X3), socially-aware P2P delivery versus
+// friend-graph degree and uptime (X4), and the metadata-exposure table.
+//
+// Usage:
+//
+//	commsim availability [-seed N] [-servers 10]
+//	commsim social [-seed N] [-users 30]
+//	commsim exposure [-servers 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "availability":
+		fs := flag.NewFlagSet("availability", flag.ExitOnError)
+		seed := fs.Int64("seed", 42, "simulation seed")
+		servers := fs.Int("servers", 10, "servers (and users, one per server)")
+		_ = fs.Parse(os.Args[2:])
+		fmt.Print(experiments.CommAvailability(*seed, *servers, []float64{0, 0.1, 0.2, 0.3, 0.5}))
+	case "social":
+		fs := flag.NewFlagSet("social", flag.ExitOnError)
+		seed := fs.Int64("seed", 42, "simulation seed")
+		users := fs.Int("users", 30, "user population")
+		_ = fs.Parse(os.Args[2:])
+		fmt.Print(experiments.SocialP2P(*seed, *users, []int{2, 4, 8}, []float64{0.5, 0.75, 0.95}))
+	case "exposure":
+		fs := flag.NewFlagSet("exposure", flag.ExitOnError)
+		servers := fs.Int("servers", 10, "federation size")
+		_ = fs.Parse(os.Args[2:])
+		fmt.Print(experiments.MetadataExposureTable(*servers))
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: commsim availability|social|exposure [flags]`)
+}

@@ -1,0 +1,150 @@
+// Command feudalism is the umbrella CLI for the reproduction of "The
+// Barriers to Overthrowing Internet Feudalism" (HotNets-XVI, 2017). It
+// regenerates the paper's three tables and runs the quantitative
+// experiments (X1–X13, plus sensitivity sweeps) described in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	feudalism table1|table2|table3|zooko        # paper tables + naming triangle
+//	feudalism experiment <id> [-seed N]         # run one experiment
+//	feudalism all [-seed N]                     # everything, in order
+//	feudalism list                              # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/feasibility"
+)
+
+var experimentIDs = []struct {
+	id, desc string
+	run      func(seed int64) fmt.Stringer
+}{
+	{"naming-throughput", "X1: registration latency/throughput, centralized vs blockchain", func(seed int64) fmt.Stringer {
+		return experiments.NamingSchemes(seed, 20)
+	}},
+	{"fifty-one", "X2: private-branch (51%) attack success vs hashrate share", func(seed int64) fmt.Stringer {
+		return experiments.FiftyOnePercent(seed, 20, 18)
+	}},
+	{"comm-availability", "X3: message deliverability vs failed servers, four models", func(seed int64) fmt.Stringer {
+		return experiments.CommAvailability(seed, 10, []float64{0, 0.1, 0.2, 0.3, 0.5})
+	}},
+	{"social-p2p", "X4: social-P2P delivery vs friend degree and uptime", func(seed int64) fmt.Stringer {
+		return experiments.SocialP2P(seed, 30, []int{2, 4, 8}, []float64{0.5, 0.75, 0.95})
+	}},
+	{"metadata", "X4b: per-message metadata exposure by model", func(seed int64) fmt.Stringer {
+		return experiments.MetadataExposureTable(10)
+	}},
+	{"storage-durability", "X5: object survival under permanent provider failures", func(seed int64) fmt.Stringer {
+		return experiments.StorageDurability(seed, 20, 30, 6*time.Hour, 0.5)
+	}},
+	{"storage-attacks", "X6: proof mechanisms vs provider attacks", func(seed int64) fmt.Stringer {
+		return experiments.StorageAttacks(seed)
+	}},
+	{"incentives", "E2 demo: every Table 2 incentive scheme executed", func(seed int64) fmt.Stringer {
+		return experiments.RunIncentiveDemos(seed)
+	}},
+	{"hostless-web", "X7: website availability, client-server vs hostless", func(seed int64) fmt.Stringer {
+		return experiments.HostlessWeb(seed, 40)
+	}},
+	{"usenet-load", "X8: per-server cost growth, Usenet flood vs federated-home", func(seed int64) fmt.Stringer {
+		return experiments.UsenetLoad(seed, []int{5, 10, 20, 40}, 20, 512)
+	}},
+	{"abuse", "X9: spam exposure vs moderation coverage, three models", func(seed int64) fmt.Stringer {
+		return experiments.AbuseContainment(seed, 20, []float64{0, 0.25, 0.5, 0.75, 1})
+	}},
+	{"selfish-mining", "X10: revenue share, honest vs selfish withholding strategy", func(seed int64) fmt.Stringer {
+		return experiments.SelfishMining(seed, 12, 150)
+	}},
+	{"dht-quality", "X11: DHT lookups on device-grade vs datacenter infrastructure", func(seed int64) fmt.Stringer {
+		return experiments.DHTQuality(seed, 40, 40)
+	}},
+	{"wot-sybil", "X12: web-of-trust Sybil amplification vs ring size", func(seed int64) fmt.Stringer {
+		return experiments.WoTSybil(seed, 12, []int{10, 50, 200, 1000})
+	}},
+	{"ledger-growth", "X13: endless-ledger growth vs SPV and compaction", func(seed int64) fmt.Stringer {
+		return experiments.LedgerGrowth(seed, 6, 20)
+	}},
+	{"sensitivity", "E3 sensitivity: perturbing the §4 feasibility constants", func(seed int64) fmt.Stringer {
+		return experiments.FeasibilitySensitivity()
+	}},
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
+	_ = fs.Parse(os.Args[2:])
+
+	switch cmd {
+	case "table1":
+		fmt.Print(experiments.Table1())
+	case "table2":
+		fmt.Print(experiments.Table2())
+	case "table3":
+		fmt.Print(experiments.Table3())
+		fmt.Printf("\nBreak-even redundancy before the storage conclusion flips: %.2fx\n",
+			feasibility.BreakEvenRedundancy(feasibility.PaperCloud(), feasibility.PaperDevices()))
+	case "zooko":
+		fmt.Print(experiments.ZookoTable())
+	case "list":
+		for _, e := range experimentIDs {
+			fmt.Printf("  %-20s %s\n", e.id, e.desc)
+		}
+	case "experiment":
+		if fs.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "experiment id required; see `feudalism list`")
+			os.Exit(2)
+		}
+		// Flags may follow the experiment id; parse the remainder too.
+		id := fs.Arg(0)
+		rest := flag.NewFlagSet("experiment "+id, flag.ExitOnError)
+		seed2 := rest.Int64("seed", *seed, "simulation seed")
+		_ = rest.Parse(fs.Args()[1:])
+		for _, e := range experimentIDs {
+			if e.id == id {
+				fmt.Print(e.run(*seed2))
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; see `feudalism list`\n", id)
+		os.Exit(2)
+	case "all":
+		fmt.Print(experiments.Table1())
+		fmt.Println()
+		fmt.Print(experiments.Table2())
+		fmt.Println()
+		fmt.Print(experiments.Table3())
+		fmt.Println()
+		fmt.Print(experiments.ZookoTable())
+		for _, e := range experimentIDs {
+			fmt.Println()
+			fmt.Print(e.run(*seed))
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: feudalism <command> [-seed N]
+
+commands:
+  table1      regenerate the paper's Table 1 (problems × projects)
+  table2      regenerate the paper's Table 2 (storage systems)
+  table3      regenerate the paper's Table 3 (cloud vs device capacity)
+  zooko       Zooko-triangle scores for all implemented naming schemes
+  experiment  run one experiment by id (see list)
+  all         tables + every experiment
+  list        list experiment ids`)
+}

@@ -1,0 +1,55 @@
+// Command storesim runs the decentralized-storage simulations of §3.3
+// with tunable parameters: durability under permanent provider failures
+// (experiment X5), the proof-vs-attack matrix (X6), and the Table 2
+// incentive demos.
+//
+// Usage:
+//
+//	storesim durability [-seed N] [-objects 20] [-providers 30] [-hours 6] [-die 0.5]
+//	storesim proofs [-seed N]
+//	storesim incentives [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "durability":
+		fs := flag.NewFlagSet("durability", flag.ExitOnError)
+		seed := fs.Int64("seed", 42, "simulation seed")
+		objects := fs.Int("objects", 20, "objects stored")
+		providers := fs.Int("providers", 30, "provider fleet size")
+		hours := fs.Int("hours", 6, "simulated horizon in hours")
+		die := fs.Float64("die", 0.5, "fraction of providers that die permanently")
+		_ = fs.Parse(os.Args[2:])
+		fmt.Print(experiments.StorageDurability(*seed, *objects, *providers, time.Duration(*hours)*time.Hour, *die))
+	case "proofs":
+		fs := flag.NewFlagSet("proofs", flag.ExitOnError)
+		seed := fs.Int64("seed", 42, "simulation seed")
+		_ = fs.Parse(os.Args[2:])
+		fmt.Print(experiments.StorageAttacks(*seed))
+	case "incentives":
+		fs := flag.NewFlagSet("incentives", flag.ExitOnError)
+		seed := fs.Int64("seed", 42, "simulation seed")
+		_ = fs.Parse(os.Args[2:])
+		fmt.Print(experiments.RunIncentiveDemos(*seed))
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: storesim durability|proofs|incentives [flags]`)
+}

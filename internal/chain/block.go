@@ -1,0 +1,98 @@
+package chain
+
+import (
+	"encoding/binary"
+	"math/big"
+
+	"repro/internal/cryptoutil"
+)
+
+// Header is the proof-of-work-committed part of a block.
+type Header struct {
+	Prev       cryptoutil.Hash
+	MerkleRoot cryptoutil.Hash
+	Height     uint64
+	// Time is the block's virtual timestamp in nanoseconds of simulation
+	// time (simnet durations cast to int64).
+	Time int64
+	// Difficulty is the expected number of hash evaluations to find a
+	// valid nonce; the target is 2²⁵⁶ / Difficulty.
+	Difficulty uint64
+	Nonce      uint64
+}
+
+func (h *Header) encode() []byte {
+	buf := make([]byte, 0, 32+32+8*4)
+	buf = append(buf, h.Prev[:]...)
+	buf = append(buf, h.MerkleRoot[:]...)
+	var scratch [8]byte
+	for _, v := range []uint64{h.Height, uint64(h.Time), h.Difficulty, h.Nonce} {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		buf = append(buf, scratch[:]...)
+	}
+	return buf
+}
+
+// Hash returns the block identifier: the SHA-256 of the header encoding.
+func (h *Header) Hash() cryptoutil.Hash { return cryptoutil.SumHash(h.encode()) }
+
+// Block is a header plus its transactions; the first transaction must be
+// the coinbase.
+type Block struct {
+	Header Header
+	Txs    []*Tx
+}
+
+// Hash returns the block's identifier.
+func (b *Block) Hash() cryptoutil.Hash { return b.Header.Hash() }
+
+// WireSize returns the simulated size of the block in bytes: header plus
+// all transactions. Chain.TotalBytes sums this to track the paper's
+// "endless ledger" growth.
+func (b *Block) WireSize() int {
+	size := len(b.Header.encode())
+	for _, tx := range b.Txs {
+		size += tx.WireSize()
+	}
+	return size
+}
+
+// txMerkleRoot computes the Merkle root over the block's transaction IDs.
+func txMerkleRoot(txs []*Tx) cryptoutil.Hash {
+	leaves := make([][]byte, len(txs))
+	for i, tx := range txs {
+		id := tx.ID()
+		leaves[i] = id[:]
+	}
+	return cryptoutil.MerkleRoot(leaves)
+}
+
+var maxHashValue = new(big.Int).Lsh(big.NewInt(1), 256)
+
+// workTarget returns the highest hash value that satisfies difficulty d.
+func workTarget(d uint64) *big.Int {
+	if d == 0 {
+		d = 1
+	}
+	return new(big.Int).Div(maxHashValue, new(big.Int).SetUint64(d))
+}
+
+// MeetsTarget reports whether the header's hash satisfies its difficulty.
+func (h *Header) MeetsTarget() bool {
+	hash := h.Hash()
+	v := new(big.Int).SetBytes(hash[:])
+	return v.Cmp(workTarget(h.Difficulty)) <= 0
+}
+
+// Grind searches nonces (starting from the current one) until the header
+// meets its target, mutating the header in place. With the modest
+// difficulties simulations use this is a few thousand hash evaluations.
+func (h *Header) Grind() {
+	for !h.MeetsTarget() {
+		h.Nonce++
+	}
+}
+
+// Work returns the expected-hash contribution of a block at difficulty d,
+// used for heaviest-chain fork choice.
+func Work(d uint64) *big.Int { return new(big.Int).SetUint64(d) }

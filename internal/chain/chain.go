@@ -1,0 +1,405 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+// Config sets the consensus parameters of a chain.
+type Config struct {
+	// InitialDifficulty is the genesis difficulty in expected hashes.
+	// Simulations should keep difficulties modest (2^10–2^20): timing is
+	// simulated, but nonce grinding is literal.
+	InitialDifficulty uint64
+	// TargetSpacing is the desired inter-block time; retargeting steers the
+	// difficulty toward it.
+	TargetSpacing time.Duration
+	// RetargetInterval is how many blocks between difficulty adjustments.
+	// Zero disables retargeting.
+	RetargetInterval int
+	// Subsidy is the coinbase block reward.
+	Subsidy uint64
+	// MaxTxsPerBlock caps non-coinbase transactions per block (the paper's
+	// "limits on data storage" weakness). Zero means 1000.
+	MaxTxsPerBlock int
+	// MaxPayloadBytes caps a single transaction payload. Zero means 4096.
+	MaxPayloadBytes int
+	// GenesisAlloc pre-funds accounts at genesis.
+	GenesisAlloc map[Address]uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialDifficulty == 0 {
+		c.InitialDifficulty = 1 << 12
+	}
+	if c.TargetSpacing == 0 {
+		c.TargetSpacing = 10 * time.Second
+	}
+	if c.MaxTxsPerBlock == 0 {
+		c.MaxTxsPerBlock = 1000
+	}
+	if c.MaxPayloadBytes == 0 {
+		c.MaxPayloadBytes = 4096
+	}
+	if c.Subsidy == 0 {
+		c.Subsidy = 50
+	}
+	return c
+}
+
+// Chain is one replica's view of the block tree. Each simulated node keeps
+// its own Chain; consensus emerges from exchanging blocks and applying the
+// same heaviest-chain rule.
+type Chain struct {
+	cfg     Config
+	blocks  map[cryptoutil.Hash]*Block
+	states  map[cryptoutil.Hash]*State
+	work    map[cryptoutil.Hash]*big.Int // cumulative work including the block itself
+	head    cryptoutil.Hash
+	genesis cryptoutil.Hash
+	bytes   int64 // total bytes across all stored blocks ("endless ledger")
+	reorgs  int
+	// observers fire after the head changes.
+	onHead []func(newHead *Block)
+}
+
+// ErrUnknownParent is returned by AddBlock when the parent block has not
+// been seen; the caller should fetch it and retry.
+var ErrUnknownParent = errors.New("chain: unknown parent block")
+
+// ErrDuplicate is returned for blocks already in the tree.
+var ErrDuplicate = errors.New("chain: duplicate block")
+
+// NewChain creates a chain with a deterministic genesis block derived from
+// the config.
+func NewChain(cfg Config) *Chain {
+	cfg = cfg.withDefaults()
+	c := &Chain{
+		cfg:    cfg,
+		blocks: map[cryptoutil.Hash]*Block{},
+		states: map[cryptoutil.Hash]*State{},
+		work:   map[cryptoutil.Hash]*big.Int{},
+	}
+	genesis := &Block{Header: Header{Difficulty: 1}}
+	gh := genesis.Hash()
+	c.blocks[gh] = genesis
+	c.states[gh] = NewState(cfg.GenesisAlloc)
+	c.work[gh] = big.NewInt(0)
+	c.head = gh
+	c.genesis = gh
+	c.bytes += int64(genesis.WireSize())
+	return c
+}
+
+// Config returns the chain's configuration.
+func (c *Chain) Config() Config { return c.cfg }
+
+// Genesis returns the genesis block hash.
+func (c *Chain) Genesis() cryptoutil.Hash { return c.genesis }
+
+// Head returns the current best block.
+func (c *Chain) Head() *Block { return c.blocks[c.head] }
+
+// HeadHash returns the current best block's hash.
+func (c *Chain) HeadHash() cryptoutil.Hash { return c.head }
+
+// Height returns the height of the head block.
+func (c *Chain) Height() uint64 { return c.blocks[c.head].Header.Height }
+
+// Block returns a block by hash, or nil.
+func (c *Chain) Block(h cryptoutil.Hash) *Block { return c.blocks[h] }
+
+// HasBlock reports whether the block is known.
+func (c *Chain) HasBlock(h cryptoutil.Hash) bool { _, ok := c.blocks[h]; return ok }
+
+// State returns the account state at the head.
+func (c *Chain) State() *State { return c.states[c.head] }
+
+// StateAt returns the state at an arbitrary known block, or nil.
+func (c *Chain) StateAt(h cryptoutil.Hash) *State { return c.states[h] }
+
+// TotalBytes returns the cumulative ledger size in bytes over every block
+// ever stored (including stale branches) — the paper's "endless ledger"
+// metric.
+func (c *Chain) TotalBytes() int64 { return c.bytes }
+
+// WorkExpended returns the cumulative expected hash evaluations along the
+// best chain — the paper's "wasteful mining computation" metric.
+func (c *Chain) WorkExpended() *big.Int { return new(big.Int).Set(c.work[c.head]) }
+
+// Reorgs returns how many times the head has switched branches.
+func (c *Chain) Reorgs() int { return c.reorgs }
+
+// NumBlocks returns the number of blocks in the tree (all branches).
+func (c *Chain) NumBlocks() int { return len(c.blocks) }
+
+// OnHead registers an observer invoked after every head change.
+func (c *Chain) OnHead(f func(*Block)) { c.onHead = append(c.onHead, f) }
+
+// NextDifficulty computes the difficulty for a block extending parent,
+// applying Bitcoin-style proportional retargeting clamped to [¼, 4]×.
+func (c *Chain) NextDifficulty(parentHash cryptoutil.Hash) uint64 {
+	parent := c.blocks[parentHash]
+	if parent == nil {
+		return c.cfg.InitialDifficulty
+	}
+	if parent.Header.Height == 0 {
+		return c.cfg.InitialDifficulty
+	}
+	interval := c.cfg.RetargetInterval
+	if interval <= 0 || parent.Header.Height%uint64(interval) != 0 {
+		return parent.Header.Difficulty
+	}
+	// Walk back interval blocks to find the window start.
+	start := parent
+	for i := 0; i < interval && start.Header.Height > 0; i++ {
+		start = c.blocks[start.Header.Prev]
+	}
+	actual := time.Duration(parent.Header.Time - start.Header.Time)
+	expected := c.cfg.TargetSpacing * time.Duration(interval)
+	if actual <= 0 {
+		actual = time.Nanosecond
+	}
+	ratio := float64(expected) / float64(actual)
+	if ratio > 4 {
+		ratio = 4
+	}
+	if ratio < 0.25 {
+		ratio = 0.25
+	}
+	next := uint64(float64(parent.Header.Difficulty) * ratio)
+	if next == 0 {
+		next = 1
+	}
+	return next
+}
+
+// validate fully checks a block against its (known) parent.
+func (c *Chain) validate(b *Block) error {
+	parent, ok := c.blocks[b.Header.Prev]
+	if !ok {
+		return ErrUnknownParent
+	}
+	if b.Header.Height != parent.Header.Height+1 {
+		return fmt.Errorf("chain: block %s: height %d, parent height %d", b.Hash().Short(), b.Header.Height, parent.Header.Height)
+	}
+	if b.Header.Time < parent.Header.Time {
+		return fmt.Errorf("chain: block %s: time goes backwards", b.Hash().Short())
+	}
+	if want := c.NextDifficulty(b.Header.Prev); b.Header.Difficulty != want {
+		return fmt.Errorf("chain: block %s: difficulty %d, want %d", b.Hash().Short(), b.Header.Difficulty, want)
+	}
+	if !b.Header.MeetsTarget() {
+		return fmt.Errorf("chain: block %s: proof of work below target", b.Hash().Short())
+	}
+	if b.Header.MerkleRoot != txMerkleRoot(b.Txs) {
+		return fmt.Errorf("chain: block %s: merkle root mismatch", b.Hash().Short())
+	}
+	if len(b.Txs) == 0 {
+		return fmt.Errorf("chain: block %s: missing coinbase", b.Hash().Short())
+	}
+	if len(b.Txs)-1 > c.cfg.MaxTxsPerBlock {
+		return fmt.Errorf("chain: block %s: %d txs exceeds cap %d", b.Hash().Short(), len(b.Txs)-1, c.cfg.MaxTxsPerBlock)
+	}
+	if !b.Txs[0].IsCoinbase() {
+		return fmt.Errorf("chain: block %s: first tx is not coinbase", b.Hash().Short())
+	}
+	for _, tx := range b.Txs[1:] {
+		if tx.IsCoinbase() {
+			return fmt.Errorf("chain: block %s: extra coinbase", b.Hash().Short())
+		}
+		if len(tx.Payload) > c.cfg.MaxPayloadBytes {
+			return fmt.Errorf("chain: block %s: tx payload %d exceeds cap %d", b.Hash().Short(), len(tx.Payload), c.cfg.MaxPayloadBytes)
+		}
+	}
+	return nil
+}
+
+// AddBlock validates b, connects it to the tree, computes its state, and
+// reorgs the head if b's branch now has the most cumulative work. It
+// returns ErrUnknownParent if the parent is missing and ErrDuplicate if b
+// is already present.
+func (c *Chain) AddBlock(b *Block) error {
+	h := b.Hash()
+	if _, ok := c.blocks[h]; ok {
+		return ErrDuplicate
+	}
+	if err := c.validate(b); err != nil {
+		return err
+	}
+	// Apply transactions on a copy of the parent state. A missing parent
+	// state means Compact discarded it: the branch forks too deep.
+	parentState, ok := c.states[b.Header.Prev]
+	if !ok {
+		return ErrTooDeepFork
+	}
+	st := parentState.Clone()
+	var fees uint64
+	for _, tx := range b.Txs[1:] {
+		if err := st.ApplyTx(tx); err != nil {
+			return fmt.Errorf("chain: block %s: %w", h.Short(), err)
+		}
+		fees += tx.Fee
+	}
+	if want := c.cfg.Subsidy + fees; b.Txs[0].Amount != want {
+		return fmt.Errorf("chain: block %s: coinbase amount %d, want %d", h.Short(), b.Txs[0].Amount, want)
+	}
+	st.applyCoinbase(b.Txs[0])
+
+	c.blocks[h] = b
+	c.states[h] = st
+	c.work[h] = new(big.Int).Add(c.work[b.Header.Prev], Work(b.Header.Difficulty))
+	c.bytes += int64(b.WireSize())
+
+	// Heaviest chain wins; ties break toward the incumbent (first seen).
+	if c.work[h].Cmp(c.work[c.head]) > 0 {
+		oldHead := c.head
+		c.head = h
+		if b.Header.Prev != oldHead {
+			c.reorgs++
+		}
+		for _, f := range c.onHead {
+			f(b)
+		}
+	}
+	return nil
+}
+
+// Ancestors returns up to max block hashes walking back from h (inclusive),
+// newest first. Used by the sync protocol to fetch missing branches.
+func (c *Chain) Ancestors(h cryptoutil.Hash, max int) []cryptoutil.Hash {
+	var out []cryptoutil.Hash
+	for max > 0 {
+		b, ok := c.blocks[h]
+		if !ok {
+			break
+		}
+		out = append(out, h)
+		if b.Header.Height == 0 {
+			break
+		}
+		h = b.Header.Prev
+		max--
+	}
+	return out
+}
+
+// IsOnBestChain reports whether block h lies on the path from genesis to
+// the current head.
+func (c *Chain) IsOnBestChain(h cryptoutil.Hash) bool {
+	b, ok := c.blocks[h]
+	if !ok {
+		return false
+	}
+	cur := c.blocks[c.head]
+	for cur.Header.Height > b.Header.Height {
+		cur = c.blocks[cur.Header.Prev]
+	}
+	return cur.Hash() == h
+}
+
+// Confirmations returns how many blocks (including itself) are stacked on
+// top of h along the best chain, or 0 if h is not on the best chain.
+func (c *Chain) Confirmations(h cryptoutil.Hash) uint64 {
+	if !c.IsOnBestChain(h) {
+		return 0
+	}
+	return c.Height() - c.blocks[h].Header.Height + 1
+}
+
+// BestBlocks returns the best chain from genesis to head, oldest first.
+func (c *Chain) BestBlocks() []*Block {
+	var out []*Block
+	for h := c.head; ; {
+		b := c.blocks[h]
+		out = append(out, b)
+		if b.Header.Height == 0 {
+			break
+		}
+		h = b.Header.Prev
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// FindTx searches the best chain for a transaction by ID and returns it
+// with the containing block, or nils.
+func (c *Chain) FindTx(id cryptoutil.Hash) (*Tx, *Block) {
+	for _, b := range c.BestBlocks() {
+		for _, tx := range b.Txs {
+			if tx.ID() == id {
+				return tx, b
+			}
+		}
+	}
+	return nil, nil
+}
+
+// NewBlock assembles and grinds a block extending parent with the given
+// transactions (coinbase excluded; it is built here). The caller is
+// responsible for having validated the transactions against the parent
+// state.
+func (c *Chain) NewBlock(parentHash cryptoutil.Hash, txs []*Tx, timestamp time.Duration, miner Address) (*Block, error) {
+	parent, ok := c.blocks[parentHash]
+	if !ok {
+		return nil, ErrUnknownParent
+	}
+	var fees uint64
+	for _, tx := range txs {
+		fees += tx.Fee
+	}
+	height := parent.Header.Height + 1
+	all := append([]*Tx{NewCoinbase(miner, c.cfg.Subsidy+fees, height)}, txs...)
+	b := &Block{
+		Header: Header{
+			Prev:       parentHash,
+			MerkleRoot: txMerkleRoot(all),
+			Height:     height,
+			Time:       int64(timestamp),
+			Difficulty: c.NextDifficulty(parentHash),
+		},
+		Txs: all,
+	}
+	b.Header.Grind()
+	return b, nil
+}
+
+// ErrTooDeepFork is returned by AddBlock when a block forks below the
+// compaction checkpoint: its parent's state has been discarded, so the
+// branch can no longer be validated. This is the standard price of
+// checkpoint-style pruning.
+var ErrTooDeepFork = errors.New("chain: fork below compaction checkpoint")
+
+// Compact discards per-block account states deeper than keepStates blocks
+// under the best head — the full node's mitigation of the paper's "endless
+// ledger problem" for working-set memory. Block bodies are retained (the
+// naming index replays them; SPV clients need headers), but reorgs deeper
+// than keepStates become impossible: AddBlock returns ErrTooDeepFork for
+// branches rooted below the checkpoint. It returns how many states were
+// freed.
+func (c *Chain) Compact(keepStates uint64) int {
+	head := c.blocks[c.head].Header.Height
+	if head <= keepStates {
+		return 0
+	}
+	cutoff := head - keepStates
+	freed := 0
+	for h, b := range c.blocks {
+		if b.Header.Height < cutoff {
+			if _, ok := c.states[h]; ok {
+				delete(c.states, h)
+				freed++
+			}
+		}
+	}
+	return freed
+}
+
+// StatesHeld returns how many per-block states are currently retained.
+func (c *Chain) StatesHeld() int { return len(c.states) }

@@ -1,0 +1,83 @@
+package chain
+
+import (
+	"fmt"
+)
+
+// State is the account state at some block: balances and per-account
+// transaction nonces. States are immutable once attached to a block; Clone
+// before applying new transactions.
+type State struct {
+	Balances map[Address]uint64
+	Nonces   map[Address]uint64
+}
+
+// NewState creates an empty state, optionally seeded with an initial
+// allocation.
+func NewState(alloc map[Address]uint64) *State {
+	s := &State{Balances: map[Address]uint64{}, Nonces: map[Address]uint64{}}
+	for addr, amt := range alloc {
+		s.Balances[addr] = amt
+	}
+	return s
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	out := &State{
+		Balances: make(map[Address]uint64, len(s.Balances)),
+		Nonces:   make(map[Address]uint64, len(s.Nonces)),
+	}
+	for k, v := range s.Balances {
+		out.Balances[k] = v
+	}
+	for k, v := range s.Nonces {
+		out.Nonces[k] = v
+	}
+	return out
+}
+
+// Balance returns the balance of addr (zero for unknown accounts).
+func (s *State) Balance(addr Address) uint64 { return s.Balances[addr] }
+
+// Nonce returns the next expected nonce for addr.
+func (s *State) Nonce(addr Address) uint64 { return s.Nonces[addr] }
+
+// CheckTx validates a non-coinbase transaction against the state without
+// mutating it.
+func (s *State) CheckTx(tx *Tx) error {
+	if err := tx.CheckSig(); err != nil {
+		return err
+	}
+	if tx.IsCoinbase() {
+		return fmt.Errorf("chain: coinbase tx %s outside block position 0", tx.ID().Short())
+	}
+	if got, want := tx.Nonce, s.Nonces[tx.From]; got != want {
+		return fmt.Errorf("chain: tx %s: nonce %d, want %d", tx.ID().Short(), got, want)
+	}
+	need := tx.Amount + tx.Fee
+	if need < tx.Amount { // overflow
+		return fmt.Errorf("chain: tx %s: amount+fee overflows", tx.ID().Short())
+	}
+	if bal := s.Balances[tx.From]; bal < need {
+		return fmt.Errorf("chain: tx %s: balance %d < %d", tx.ID().Short(), bal, need)
+	}
+	return nil
+}
+
+// ApplyTx validates and applies one non-coinbase transaction.
+func (s *State) ApplyTx(tx *Tx) error {
+	if err := s.CheckTx(tx); err != nil {
+		return err
+	}
+	s.Balances[tx.From] -= tx.Amount + tx.Fee
+	s.Balances[tx.To] += tx.Amount
+	s.Nonces[tx.From]++
+	return nil
+}
+
+// applyCoinbase credits the block reward; amount correctness is checked by
+// the chain against subsidy+fees.
+func (s *State) applyCoinbase(tx *Tx) {
+	s.Balances[tx.To] += tx.Amount
+}

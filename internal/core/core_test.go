@@ -1,0 +1,149 @@
+package core
+
+import "testing"
+
+func TestProfilesSpanTheQuadrants(t *testing.T) {
+	ps := Profiles()
+	if len(ps) < 4 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	// The paper's diagnosis: today's Internet is distributed + feudal.
+	foundFeudalDistributed := false
+	// The paper's goal: distributed + democratic.
+	foundDemocraticDistributed := false
+	for _, p := range ps {
+		if p.Distribution == DistDistributed && p.Control == CtrlFeudal {
+			foundFeudalDistributed = true
+		}
+		if p.Distribution == DistDistributed && p.Control == CtrlDemocratic {
+			foundDemocraticDistributed = true
+		}
+		if p.Implementation == "" {
+			t.Errorf("%s has no implementation link", p.Name)
+		}
+	}
+	if !foundFeudalDistributed {
+		t.Error("missing the distributed+feudal quadrant (today's Internet)")
+	}
+	if !foundDemocraticDistributed {
+		t.Error("missing the distributed+democratic quadrant (the goal)")
+	}
+}
+
+func TestCentralizedWinsConvenienceP2PWinsPrivacy(t *testing.T) {
+	ps := Profiles()
+	var central, p2p *SystemProfile
+	for i := range ps {
+		switch ps[i].Name {
+		case "centralized-platform":
+			central = &ps[i]
+		case "peer-to-peer":
+			p2p = &ps[i]
+		}
+	}
+	if central == nil || p2p == nil {
+		t.Fatal("expected profiles missing")
+	}
+	if central.Features.Convenience <= p2p.Features.Convenience {
+		t.Error("§2.1: centralized should beat P2P on convenience")
+	}
+	if central.Features.Privacy >= p2p.Features.Privacy {
+		t.Error("§3.2: P2P should beat centralized on privacy")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, d := range []Distribution{DistCentralized, DistFederated, DistDistributed} {
+		if d.String() == "unknown" {
+			t.Errorf("distribution %d unnamed", d)
+		}
+	}
+	if Distribution(99).String() != "unknown" {
+		t.Error("unknown distribution")
+	}
+	for _, c := range []Control{CtrlFeudal, CtrlSemiDemocratic, CtrlDemocratic} {
+		if c.String() == "unknown" {
+			t.Errorf("control %d unnamed", c)
+		}
+	}
+	if Control(99).String() != "unknown" {
+		t.Error("unknown control")
+	}
+	for _, s := range []Score{Poor, Partial, Good} {
+		if s.String() == "unknown" {
+			t.Errorf("score %d unnamed", s)
+		}
+	}
+	if Score(99).String() != "unknown" {
+		t.Error("unknown score")
+	}
+	for _, i := range []IncentiveID{IncentiveBitswap, IncentiveProofOfStorage, IncentiveProofOfRetrievability, IncentiveProofOfReplication, IncentiveNone} {
+		if i.String() == "unknown" {
+			t.Errorf("incentive %d unnamed", i)
+		}
+	}
+	if IncentiveID(99).String() != "unknown" {
+		t.Error("unknown incentive")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	wantProjects := map[string]int{
+		"Naming":              3,
+		"Group Communication": 8,
+		"Data storage":        9,
+		"Web applications":    3,
+	}
+	for _, r := range rows {
+		want, ok := wantProjects[r.Problem]
+		if !ok {
+			t.Errorf("unexpected problem %q", r.Problem)
+			continue
+		}
+		if len(r.Projects) != want {
+			t.Errorf("%s: %d projects, want %d", r.Problem, len(r.Projects), want)
+		}
+		if r.Implementation == "" {
+			t.Errorf("%s: no implementation", r.Problem)
+		}
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	want := map[string]string{
+		"IPFS":       "None",
+		"MaidSafe":   "None",
+		"Sia":        "Blockchain-based contract",
+		"Storj":      "Facilitate payments (storjcoin)",
+		"Swarm":      "Ethereum blockchain for domain name resolution, payments, and content availability insurance",
+		"Filecoin":   "Facilitate payments (filecoin)",
+		"Blockstack": "Bind domain name, public key and zone file hash",
+	}
+	for _, r := range rows {
+		usage, ok := want[r.System]
+		if !ok {
+			t.Errorf("unexpected system %q", r.System)
+			continue
+		}
+		if r.BlockchainUsage != usage {
+			t.Errorf("%s: usage %q, want %q", r.System, r.BlockchainUsage, usage)
+		}
+		if r.IncentiveScheme == "" || r.Implementation == "" {
+			t.Errorf("%s: incomplete row", r.System)
+		}
+	}
+	// Only Blockstack has no incentive scheme.
+	for _, r := range rows {
+		if (r.Incentive == IncentiveNone) != (r.System == "Blockstack") {
+			t.Errorf("%s: incentive-none mismatch", r.System)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package cryptoutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+)
+
+// HKDF derives length bytes of key material from the input keying material
+// ikm, an optional salt, and a context info string, following RFC 5869 with
+// HMAC-SHA256. It is hand-implemented because golang.org/x/crypto is
+// unavailable in this offline, stdlib-only build.
+func HKDF(ikm, salt, info []byte, length int) []byte {
+	if length <= 0 || length > 255*sha256.Size {
+		panic("cryptoutil: invalid HKDF output length")
+	}
+	// Extract
+	if salt == nil {
+		salt = make([]byte, sha256.Size)
+	}
+	ext := hmac.New(sha256.New, salt)
+	ext.Write(ikm)
+	prk := ext.Sum(nil)
+	// Expand
+	out := make([]byte, 0, length)
+	var t []byte
+	for counter := byte(1); len(out) < length; counter++ {
+		exp := hmac.New(sha256.New, prk)
+		exp.Write(t)
+		exp.Write(info)
+		exp.Write([]byte{counter})
+		t = exp.Sum(nil)
+		out = append(out, t...)
+	}
+	return out[:length]
+}
+
+// HMAC256 computes HMAC-SHA256 of msg under key.
+func HMAC256(key, msg []byte) []byte {
+	m := hmac.New(sha256.New, key)
+	m.Write(msg)
+	return m.Sum(nil)
+}
+
+// Seal encrypts plaintext with AES-256-GCM under a 32-byte key, binding the
+// additional data ad. The nonce must be unique per (key, message); ratchet
+// protocols derive a fresh key per message and may pass a zero nonce.
+func Seal(key, nonce, plaintext, ad []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	n := make([]byte, aead.NonceSize())
+	copy(n, nonce)
+	return aead.Seal(nil, n, plaintext, ad), nil
+}
+
+// Open decrypts a Seal-produced ciphertext, authenticating ad.
+func Open(key, nonce, ciphertext, ad []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	n := make([]byte, aead.NonceSize())
+	copy(n, nonce)
+	pt, err := aead.Open(nil, n, ciphertext, ad)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: open: %w", err)
+	}
+	return pt, nil
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	if len(key) != 32 {
+		return nil, fmt.Errorf("cryptoutil: AES-256 key must be 32 bytes, got %d", len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: aes: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoutil: gcm: %w", err)
+	}
+	return aead, nil
+}

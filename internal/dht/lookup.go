@@ -1,0 +1,154 @@
+package dht
+
+// Iterative Kademlia lookup: query the α closest unqueried contacts in
+// parallel, fold their replies into a distance-sorted shortlist, and stop
+// when the K best contacts have all been queried (or a value is found in
+// FIND_VALUE mode). Runs entirely on simnet callbacks — no goroutines.
+
+type lookupState struct {
+	p         *Peer
+	target    Key
+	wantValue bool
+	shortlist []Contact
+	queried   map[Key]bool
+	failed    map[Key]bool
+	inflight  int
+	finished  bool
+	done      func(closest []Contact, value []byte, found bool)
+}
+
+func (p *Peer) lookup(target Key, wantValue bool, done func([]Contact, []byte, bool)) {
+	p.stats.LookupsStarted++
+	ls := &lookupState{
+		p:         p,
+		target:    target,
+		wantValue: wantValue,
+		queried:   map[Key]bool{},
+		failed:    map[Key]bool{},
+		done:      done,
+	}
+	ls.merge(p.rt.closest(target, p.cfg.K))
+	ls.step()
+}
+
+// merge folds contacts into the shortlist, keeping it sorted by distance
+// and trimmed to K entries plus already-queried stragglers.
+func (ls *lookupState) merge(cs []Contact) {
+	for _, c := range cs {
+		if c.ID == ls.p.id {
+			continue
+		}
+		dup := false
+		for _, have := range ls.shortlist {
+			if have.ID == c.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ls.shortlist = append(ls.shortlist, c)
+		}
+	}
+	sortByDistance(ls.target, ls.shortlist)
+	if len(ls.shortlist) > ls.p.cfg.K*2 {
+		ls.shortlist = ls.shortlist[:ls.p.cfg.K*2]
+	}
+}
+
+// step issues queries until α are in flight or the lookup converges.
+func (ls *lookupState) step() {
+	if ls.finished {
+		return
+	}
+	ls.p.stats.LookupHops++
+	launched := 0
+	for _, c := range ls.shortlist {
+		if ls.inflight >= ls.p.cfg.Alpha {
+			break
+		}
+		if ls.queried[c.ID] || ls.failed[c.ID] {
+			continue
+		}
+		ls.queried[c.ID] = true
+		ls.inflight++
+		launched++
+		ls.query(c)
+	}
+	if launched == 0 && ls.inflight == 0 {
+		ls.finish(nil, false)
+	}
+}
+
+func (ls *lookupState) query(c Contact) {
+	method := methodFindNode
+	if ls.wantValue {
+		method = methodFindValue
+	}
+	req := findNodeReq{From: ls.p.Contact(), Target: ls.target}
+	ls.p.rpc.Call(c.Addr, method, req, 80, ls.p.cfg.RequestTimeout, func(resp any, err error) {
+		ls.inflight--
+		if ls.finished {
+			return
+		}
+		if err != nil {
+			ls.failed[c.ID] = true
+			ls.p.rt.remove(c.ID)
+			ls.step()
+			return
+		}
+		ls.p.observe(c)
+		switch r := resp.(type) {
+		case findValueResp:
+			if r.Found {
+				ls.finish(r.Value, true)
+				return
+			}
+			ls.merge(r.Contacts)
+		case findNodeResp:
+			ls.merge(r.Contacts)
+		}
+		if ls.converged() {
+			ls.finish(nil, false)
+			return
+		}
+		ls.step()
+	})
+}
+
+// converged reports whether the K closest shortlist entries have all been
+// queried (or failed) and nothing is in flight.
+func (ls *lookupState) converged() bool {
+	if ls.inflight > 0 {
+		return false
+	}
+	checked := 0
+	for _, c := range ls.shortlist {
+		if checked >= ls.p.cfg.K {
+			break
+		}
+		if !ls.queried[c.ID] && !ls.failed[c.ID] {
+			return false
+		}
+		checked++
+	}
+	return true
+}
+
+func (ls *lookupState) finish(value []byte, found bool) {
+	if ls.finished {
+		return
+	}
+	ls.finished = true
+	// Result: the K closest live contacts.
+	var out []Contact
+	for _, c := range ls.shortlist {
+		if ls.failed[c.ID] {
+			continue
+		}
+		out = append(out, c)
+		if len(out) == ls.p.cfg.K {
+			break
+		}
+	}
+	ls.done(out, value, found)
+}

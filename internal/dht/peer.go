@@ -1,0 +1,289 @@
+package dht
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/simnet"
+)
+
+// Config tunes a DHT peer. The zero value is replaced by defaults matching
+// the Kademlia paper (k=20, α=3).
+type Config struct {
+	K              int           // bucket size and lookup result width
+	Alpha          int           // lookup parallelism
+	RequestTimeout time.Duration // per-RPC timeout
+	TTL            time.Duration // stored value lifetime; 0 = no expiry
+	// RepublishInterval re-stores locally published values; 0 disables.
+	RepublishInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 20
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 3
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// RPC method names.
+const (
+	methodPing      = "dht.ping"
+	methodFindNode  = "dht.find_node"
+	methodFindValue = "dht.find_value"
+	methodStore     = "dht.store"
+)
+
+type findNodeReq struct {
+	From   Contact
+	Target Key
+}
+
+type findNodeResp struct {
+	Contacts []Contact
+}
+
+type findValueResp struct {
+	Value    []byte // nil if not found
+	Found    bool
+	Contacts []Contact
+}
+
+type storeReq struct {
+	From  Contact
+	Key   Key
+	Value []byte
+}
+
+type storedValue struct {
+	data      []byte
+	expiresAt time.Duration // zero means never
+}
+
+// Peer is one DHT participant bound to a simnet node.
+type Peer struct {
+	cfg   Config
+	rpc   *simnet.RPCNode
+	id    Key
+	rt    *routingTable
+	store map[Key]storedValue
+	// published tracks keys this peer originated, for republishing.
+	published map[Key][]byte
+	stats     Stats
+}
+
+// Stats counts DHT operations for experiments.
+type Stats struct {
+	LookupsStarted int
+	LookupHops     int // total query rounds across lookups
+	StoresSent     int
+	ValuesServed   int
+}
+
+// NewPeer creates a DHT peer on the given simnet node. The peer's DHT ID is
+// derived from the node ID unless a nonzero id is supplied.
+func NewPeer(node *simnet.Node, id Key, cfg Config) *Peer {
+	if id.IsZero() {
+		id = cryptoutil.SumHash([]byte{byte(node.ID()), byte(node.ID() >> 8), 0xD7})
+	}
+	p := &Peer{
+		cfg:       cfg.withDefaults(),
+		rpc:       simnet.NewRPCNode(node),
+		id:        id,
+		store:     map[Key]storedValue{},
+		published: map[Key][]byte{},
+	}
+	p.rt = newRoutingTable(id, p.cfg.K)
+	p.rpc.Serve(methodPing, p.onPing)
+	p.rpc.Serve(methodFindNode, p.onFindNode)
+	p.rpc.Serve(methodFindValue, p.onFindValue)
+	p.rpc.Serve(methodStore, p.onStore)
+	if p.cfg.RepublishInterval > 0 {
+		p.scheduleRepublish()
+	}
+	return p
+}
+
+// ID returns the peer's DHT identifier.
+func (p *Peer) ID() Key { return p.id }
+
+// Contact returns this peer's own contact record.
+func (p *Peer) Contact() Contact { return Contact{ID: p.id, Addr: p.rpc.Node().ID()} }
+
+// Node returns the underlying simnet node.
+func (p *Peer) Node() *simnet.Node { return p.rpc.Node() }
+
+// Stats returns operation counters.
+func (p *Peer) Stats() Stats { return p.stats }
+
+// TableSize returns the number of contacts in the routing table.
+func (p *Peer) TableSize() int { return p.rt.size() }
+
+// observe records a contact, running the ping-before-evict protocol when a
+// bucket is full.
+func (p *Peer) observe(c Contact) {
+	if c.ID == p.id {
+		return
+	}
+	candidate := p.rt.observe(c)
+	if candidate == nil {
+		return
+	}
+	old := *candidate
+	p.rpc.Call(old.Addr, methodPing, p.Contact(), 40, p.cfg.RequestTimeout, func(_ any, err error) {
+		if err != nil {
+			p.rt.evict(old, c) // stale occupant: newcomer takes the slot
+		} else {
+			p.rt.refresh(old.ID) // occupant alive: newcomer is dropped
+		}
+	})
+}
+
+func (p *Peer) onPing(from simnet.NodeID, req any) (any, int) {
+	if c, ok := req.(Contact); ok {
+		p.observe(c)
+	}
+	return true, 8
+}
+
+func (p *Peer) onFindNode(from simnet.NodeID, req any) (any, int) {
+	r, ok := req.(findNodeReq)
+	if !ok {
+		return findNodeResp{}, 8
+	}
+	p.observe(r.From)
+	cs := p.rt.closest(r.Target, p.cfg.K)
+	return findNodeResp{Contacts: cs}, 8 + len(cs)*40
+}
+
+func (p *Peer) onFindValue(from simnet.NodeID, req any) (any, int) {
+	r, ok := req.(findNodeReq)
+	if !ok {
+		return findValueResp{}, 8
+	}
+	p.observe(r.From)
+	if sv, ok := p.store[r.Target]; ok && p.fresh(sv) {
+		p.stats.ValuesServed++
+		return findValueResp{Value: sv.data, Found: true}, 8 + len(sv.data)
+	}
+	cs := p.rt.closest(r.Target, p.cfg.K)
+	return findValueResp{Contacts: cs}, 8 + len(cs)*40
+}
+
+func (p *Peer) onStore(from simnet.NodeID, req any) (any, int) {
+	r, ok := req.(storeReq)
+	if !ok {
+		return false, 8
+	}
+	p.observe(r.From)
+	var exp time.Duration
+	if p.cfg.TTL > 0 {
+		exp = p.Node().Network().Now() + p.cfg.TTL
+	}
+	p.store[r.Key] = storedValue{data: r.Value, expiresAt: exp}
+	return true, 8
+}
+
+func (p *Peer) fresh(sv storedValue) bool {
+	return sv.expiresAt == 0 || p.Node().Network().Now() < sv.expiresAt
+}
+
+// Bootstrap joins the network through a seed contact: it inserts the seed
+// and runs a self-lookup to populate the routing table, invoking done when
+// finished.
+func (p *Peer) Bootstrap(seed Contact, done func()) {
+	p.observe(seed)
+	p.lookup(p.id, false, func(_ []Contact, _ []byte, _ bool) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Put stores value under key on the K closest peers. done (optional)
+// receives the number of nodes that acknowledged the store.
+func (p *Peer) Put(key Key, value []byte, done func(stored int)) {
+	p.published[key] = value
+	p.putOnce(key, value, done)
+}
+
+func (p *Peer) putOnce(key Key, value []byte, done func(stored int)) {
+	p.lookup(key, false, func(closest []Contact, _ []byte, _ bool) {
+		// Store locally if we are among the closest (or the network is tiny).
+		acked := 0
+		pending := len(closest)
+		p.storeLocal(key, value)
+		if pending == 0 {
+			if done != nil {
+				done(0)
+			}
+			return
+		}
+		for _, c := range closest {
+			req := storeReq{From: p.Contact(), Key: key, Value: value}
+			p.stats.StoresSent++
+			p.rpc.Call(c.Addr, methodStore, req, 48+len(value), p.cfg.RequestTimeout, func(resp any, err error) {
+				pending--
+				if err == nil {
+					if okResp, ok := resp.(bool); ok && okResp {
+						acked++
+					}
+				}
+				if pending == 0 && done != nil {
+					done(acked)
+				}
+			})
+		}
+	})
+}
+
+func (p *Peer) storeLocal(key Key, value []byte) {
+	var exp time.Duration
+	if p.cfg.TTL > 0 {
+		exp = p.Node().Network().Now() + p.cfg.TTL
+	}
+	p.store[key] = storedValue{data: value, expiresAt: exp}
+}
+
+// Get retrieves the value for key, first locally then via an iterative
+// FIND_VALUE lookup.
+func (p *Peer) Get(key Key, done func(value []byte, ok bool)) {
+	if sv, ok := p.store[key]; ok && p.fresh(sv) {
+		done(sv.data, true)
+		return
+	}
+	p.lookup(key, true, func(_ []Contact, value []byte, found bool) {
+		done(value, found)
+	})
+}
+
+// LookupNode runs an iterative FIND_NODE and returns the K closest
+// contacts to target.
+func (p *Peer) LookupNode(target Key, done func([]Contact)) {
+	p.lookup(target, false, func(cs []Contact, _ []byte, _ bool) { done(cs) })
+}
+
+func (p *Peer) scheduleRepublish() {
+	nw := p.Node().Network()
+	nw.After(p.cfg.RepublishInterval, func() {
+		if p.Node().Up() {
+			keys := make([]Key, 0, len(p.published))
+			for key := range p.published {
+				keys = append(keys, key)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				return DistanceLess(Key{}, keys[i], keys[j])
+			})
+			for _, key := range keys {
+				p.putOnce(key, p.published[key], nil)
+			}
+		}
+		p.scheduleRepublish()
+	})
+}

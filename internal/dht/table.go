@@ -1,0 +1,192 @@
+// Package dht implements a Kademlia distributed hash table over
+// internal/simnet: 256-bit XOR metric, k-buckets with ping-before-evict
+// liveness checks, iterative α-parallel lookups, STORE/FIND_VALUE, and
+// periodic republish.
+//
+// The DHT is the discovery substrate for the decentralized storage layer
+// (§3.3: IPFS-style content routing) and the hostless web layer (§3.4:
+// "The public key is the new site address which can be looked up on
+// trackers or DHTs").
+package dht
+
+import (
+	"math/bits"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/simnet"
+)
+
+// Key is a 256-bit DHT identifier; node IDs and content keys share the
+// space.
+type Key = cryptoutil.Hash
+
+// Contact is a (node ID, network address) pair.
+type Contact struct {
+	ID   Key
+	Addr simnet.NodeID
+}
+
+// XorDistance returns the Kademlia distance a⊕b.
+func XorDistance(a, b Key) Key {
+	var d Key
+	for i := range a {
+		d[i] = a[i] ^ b[i]
+	}
+	return d
+}
+
+// DistanceLess reports whether a is strictly closer to target than b.
+func DistanceLess(target, a, b Key) bool {
+	for i := range target {
+		da, db := a[i]^target[i], b[i]^target[i]
+		if da != db {
+			return da < db
+		}
+	}
+	return false
+}
+
+// BucketIndex returns the index of the k-bucket for a peer at the given
+// XOR distance: 255 for the far half of the space down to 0 for the
+// nearest non-equal IDs. Returns -1 for distance zero (self).
+func BucketIndex(self, other Key) int {
+	d := XorDistance(self, other)
+	for i, b := range d {
+		if b != 0 {
+			return 255 - (i*8 + bits.LeadingZeros8(b))
+		}
+	}
+	return -1
+}
+
+// bucketEntry tracks one contact with recency ordering.
+type bucketEntry struct {
+	c Contact
+}
+
+// bucket is one k-bucket: least-recently-seen first, most-recently-seen
+// last (classic Kademlia ordering).
+type bucket struct {
+	entries []bucketEntry
+}
+
+func (b *bucket) indexOf(id Key) int {
+	for i, e := range b.entries {
+		if e.c.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// routingTable is a 256-bucket Kademlia table.
+type routingTable struct {
+	self Key
+	k    int
+	b    [256]bucket
+}
+
+func newRoutingTable(self Key, k int) *routingTable {
+	return &routingTable{self: self, k: k}
+}
+
+// observe records contact activity. If the bucket is full it returns the
+// least-recently-seen occupant as the eviction candidate (the caller pings
+// it and calls evict or keep); otherwise it inserts/refreshes and returns
+// nil.
+func (rt *routingTable) observe(c Contact) *Contact {
+	idx := BucketIndex(rt.self, c.ID)
+	if idx < 0 {
+		return nil // self
+	}
+	bk := &rt.b[idx]
+	if i := bk.indexOf(c.ID); i >= 0 {
+		// Move to tail (most recently seen).
+		e := bk.entries[i]
+		bk.entries = append(append(bk.entries[:i:i], bk.entries[i+1:]...), e)
+		return nil
+	}
+	if len(bk.entries) < rt.k {
+		bk.entries = append(bk.entries, bucketEntry{c: c})
+		return nil
+	}
+	oldest := bk.entries[0].c
+	return &oldest
+}
+
+// evict removes old from its bucket and inserts repl at the tail. Used when
+// the ping-before-evict liveness check on old fails.
+func (rt *routingTable) evict(old Contact, repl Contact) {
+	idx := BucketIndex(rt.self, old.ID)
+	if idx < 0 {
+		return
+	}
+	bk := &rt.b[idx]
+	if i := bk.indexOf(old.ID); i >= 0 {
+		bk.entries = append(bk.entries[:i], bk.entries[i+1:]...)
+	}
+	if len(bk.entries) < rt.k && bk.indexOf(repl.ID) < 0 {
+		bk.entries = append(bk.entries, bucketEntry{c: repl})
+	}
+}
+
+// refresh moves a contact to most-recently-seen if present (used after a
+// successful ping of an eviction candidate).
+func (rt *routingTable) refresh(id Key) {
+	idx := BucketIndex(rt.self, id)
+	if idx < 0 {
+		return
+	}
+	bk := &rt.b[idx]
+	if i := bk.indexOf(id); i >= 0 {
+		e := bk.entries[i]
+		bk.entries = append(append(bk.entries[:i:i], bk.entries[i+1:]...), e)
+	}
+}
+
+// remove drops a contact entirely (used when requests to it fail).
+func (rt *routingTable) remove(id Key) {
+	idx := BucketIndex(rt.self, id)
+	if idx < 0 {
+		return
+	}
+	bk := &rt.b[idx]
+	if i := bk.indexOf(id); i >= 0 {
+		bk.entries = append(bk.entries[:i], bk.entries[i+1:]...)
+	}
+}
+
+// closest returns up to n contacts nearest to target, sorted by XOR
+// distance ascending.
+func (rt *routingTable) closest(target Key, n int) []Contact {
+	var all []Contact
+	for i := range rt.b {
+		for _, e := range rt.b[i].entries {
+			all = append(all, e.c)
+		}
+	}
+	// Insertion-sort-ish selection is fine at table scale; use full sort.
+	sortByDistance(target, all)
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// size returns the number of contacts in the table.
+func (rt *routingTable) size() int {
+	total := 0
+	for i := range rt.b {
+		total += len(rt.b[i].entries)
+	}
+	return total
+}
+
+func sortByDistance(target Key, cs []Contact) {
+	// Simple insertion sort: contact lists are short (≤ a few hundred).
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && DistanceLess(target, cs[j].ID, cs[j-1].ID); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

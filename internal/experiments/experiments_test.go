@@ -1,0 +1,496 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Headers: []string{"A", "LongHeader"}}
+	tab.Add("x", 42)
+	tab.Add("longer-cell", true)
+	s := tab.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "LongHeader") || !strings.Contains(s, "longer-cell") {
+		t.Errorf("render:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4+0 { // title, header, separator, 2 rows -> 5
+		if len(lines) != 5 {
+			t.Errorf("lines = %d", len(lines))
+		}
+	}
+}
+
+func TestTable1Table2Table3(t *testing.T) {
+	t1 := Table1()
+	if len(t1.Rows) != 4 {
+		t.Errorf("table1 rows = %d", len(t1.Rows))
+	}
+	t2 := Table2()
+	if len(t2.Rows) != 7 {
+		t.Errorf("table2 rows = %d", len(t2.Rows))
+	}
+	t3 := Table3()
+	if len(t3.Rows) != 3 {
+		t.Errorf("table3 rows = %d", len(t3.Rows))
+	}
+	s := t3.String()
+	for _, want := range []string{"200 Tbps", "5000 Tbps", "400 M", "500 M", "80 EB", "210 EB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table3 missing %q:\n%s", want, s)
+		}
+	}
+	z := ZookoTable()
+	if len(z.Rows) != 5 {
+		t.Errorf("zooko rows = %d", len(z.Rows))
+	}
+}
+
+func TestNamingSchemesShape(t *testing.T) {
+	tab := NamingSchemes(1, 8)
+	if len(tab.Rows) < 3 {
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab)
+	}
+	// Centralized latency must be far below blockchain latency.
+	centLat := parseSeconds(t, tab.Rows[0][1])
+	bcLat := parseSeconds(t, tab.Rows[1][1])
+	if centLat <= 0 || bcLat <= 0 {
+		t.Fatalf("latencies %v %v:\n%s", centLat, bcLat, tab)
+	}
+	if bcLat < 10*centLat {
+		t.Errorf("blockchain (%vs) should be ≫ centralized (%vs)", bcLat, centLat)
+	}
+	// And the slower block spacing must be slower still.
+	bcSlow := parseSeconds(t, tab.Rows[2][1])
+	if bcSlow <= bcLat {
+		t.Errorf("30s spacing (%v) should beat 5s spacing (%v) in latency? no — it should be larger", bcSlow, bcLat)
+	}
+}
+
+func parseSeconds(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "s"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFiftyOnePercentMonotone(t *testing.T) {
+	tab := FiftyOnePercent(7, 6, 12)
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	lowShare := parse(tab.Rows[0][1])  // 10%
+	highShare := parse(tab.Rows[7][1]) // 75%
+	if lowShare > 40 {
+		t.Errorf("10%% attacker succeeded %v%% of the time:\n%s", lowShare, tab)
+	}
+	if highShare < 60 {
+		t.Errorf("75%% attacker succeeded only %v%%:\n%s", highShare, tab)
+	}
+	if highShare <= lowShare {
+		t.Errorf("success rate should grow with hash share:\n%s", tab)
+	}
+}
+
+func TestDoubleSpend(t *testing.T) {
+	before, after := DoubleSpend(3)
+	if before != 500 {
+		t.Fatalf("victim balance before attack = %d, want 500", before)
+	}
+	if after != 0 {
+		t.Fatalf("victim balance after reorg = %d, want 0 (payment erased)", after)
+	}
+}
+
+func TestCommAvailabilityShape(t *testing.T) {
+	tab := CommAvailability(11, 10, []float64{0, 0.3})
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab)
+	}
+	get := func(r, c int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[r][c], 64)
+		if err != nil {
+			t.Fatalf("parse [%d][%d]=%q", r, c, tab.Rows[r][c])
+		}
+		return v
+	}
+	// f=0: everything should deliver.
+	for r := 0; r < 4; r++ {
+		if got := get(r, 1); got < 0.95 {
+			t.Errorf("%s at f=0: %.2f, want ≈1:\n%s", tab.Rows[r][0], got, tab)
+		}
+	}
+	// f=0.3: centralized collapses to 0; replicated beats home-federated.
+	if got := get(0, 2); got != 0 {
+		t.Errorf("centralized at f=0.3 = %v, want 0", got)
+	}
+	fedHome, fedRepl := get(1, 2), get(2, 2)
+	if fedRepl <= fedHome {
+		t.Errorf("replicated federation (%.2f) should beat home federation (%.2f):\n%s", fedRepl, fedHome, tab)
+	}
+}
+
+func TestSocialP2PShape(t *testing.T) {
+	tab := SocialP2P(13, 20, []int{2, 8}, []float64{0.5, 1.0})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	get := func(r, c int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[r][c], 64)
+		if err != nil {
+			t.Fatalf("parse %q", tab.Rows[r][c])
+		}
+		return v
+	}
+	// Full uptime should deliver everything regardless of degree.
+	if get(0, 2) < 0.95 || get(1, 2) < 0.95 {
+		t.Errorf("full-uptime delivery below 1:\n%s", tab)
+	}
+	// At 50%% uptime, higher degree should not hurt.
+	if get(1, 1)+0.15 < get(0, 1) {
+		t.Errorf("higher degree materially hurt delivery:\n%s", tab)
+	}
+
+	exp := MetadataExposureTable(10)
+	if len(exp.Rows) != 4 {
+		t.Errorf("exposure rows = %d", len(exp.Rows))
+	}
+}
+
+func TestStorageDurabilityShape(t *testing.T) {
+	tab := StorageDurability(17, 12, 24, 4*time.Hour, 0.5)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab)
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			t.Fatalf("parse %q", s)
+		}
+		return v
+	}
+	r1NoRepair := parse(tab.Rows[0][2])
+	r3NoRepair := parse(tab.Rows[2][2])
+	if r3NoRepair < r1NoRepair {
+		t.Errorf("r=3 (%v%%) should survive at least as well as r=1 (%v%%):\n%s", r3NoRepair, r1NoRepair, tab)
+	}
+	r3Repair := parse(tab.Rows[2][3])
+	if r3Repair < r3NoRepair {
+		t.Errorf("repair (%v%%) should not reduce survival (%v%%):\n%s", r3Repair, r3NoRepair, tab)
+	}
+	if r3Repair < 90 {
+		t.Errorf("r=3 with repair should survive ≈100%%, got %v%%:\n%s", r3Repair, tab)
+	}
+}
+
+func TestStorageAttacksMatrix(t *testing.T) {
+	tab := StorageAttacks(19)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab)
+	}
+	cell := func(r, c int) string { return tab.Rows[r][c] }
+	// Honest passes everything.
+	for c := 1; c <= 3; c++ {
+		if cell(0, c) != "pass (correct)" {
+			t.Errorf("honest column %d = %q:\n%s", c, cell(0, c), tab)
+		}
+	}
+	// Dropper caught by all three.
+	for c := 1; c <= 3; c++ {
+		if cell(1, c) != "caught" {
+			t.Errorf("dropper column %d = %q:\n%s", c, cell(1, c), tab)
+		}
+	}
+	// Corrupter caught by all three.
+	for c := 1; c <= 3; c++ {
+		if cell(2, c) != "caught" {
+			t.Errorf("corrupter column %d = %q:\n%s", c, cell(2, c), tab)
+		}
+	}
+	// Outsourcer caught by timing on PoS and PoRet.
+	if cell(3, 1) != "caught" || cell(3, 2) != "caught" {
+		t.Errorf("outsourcer should be caught by deadline:\n%s", tab)
+	}
+	// Dedup cheater passes PoS/PoRet (it stores the plain chunk!) but is
+	// caught by proof-of-replication.
+	if cell(4, 1) != "PASS (missed!)" || cell(4, 2) != "PASS (missed!)" {
+		t.Errorf("dedup should evade plain-storage proofs:\n%s", tab)
+	}
+	if cell(4, 3) != "caught" {
+		t.Errorf("dedup must be caught by proof-of-replication:\n%s", tab)
+	}
+}
+
+func TestHostlessWebShape(t *testing.T) {
+	tab := HostlessWeb(23, 24)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab)
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			t.Fatalf("parse %q", s)
+		}
+		return v
+	}
+	// Both architectures serve fine while the publisher is alive.
+	if parse(tab.Rows[0][1]) < 90 || parse(tab.Rows[1][1]) < 90 {
+		t.Errorf("pre-death availability too low:\n%s", tab)
+	}
+	// After the publisher dies: client-server collapses, hostless survives.
+	if got := parse(tab.Rows[0][2]); got > 10 {
+		t.Errorf("client-server after origin death = %v%%, want ≈0:\n%s", got, tab)
+	}
+	if got := parse(tab.Rows[1][2]); got < 80 {
+		t.Errorf("hostless after author death = %v%%, want high:\n%s", got, tab)
+	}
+	// Hostless spreads load: the author should serve well under 100% of bytes.
+	if got := parse(tab.Rows[1][3]); got >= 99 {
+		t.Errorf("author share = %v%%, seeding not spreading load:\n%s", got, tab)
+	}
+}
+
+func TestIncentiveDemos(t *testing.T) {
+	tab := RunIncentiveDemos(29)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab)
+	}
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "IPFS":
+			if !strings.Contains(row[2], "served") || !strings.Contains(row[3], "refused") {
+				t.Errorf("bitswap row wrong: %v", row)
+			}
+		case "Blockstack":
+			if !strings.Contains(row[2], "bound on chain") {
+				t.Errorf("blockstack row wrong: %v", row)
+			}
+		default:
+			if !strings.Contains(row[2], "passed") {
+				t.Errorf("%s honest outcome wrong: %v", row[0], row)
+			}
+			if !strings.Contains(row[3], "failed") {
+				t.Errorf("%s cheater outcome wrong: %v", row[0], row)
+			}
+		}
+	}
+}
+
+func TestUsenetLoadShape(t *testing.T) {
+	tab := UsenetLoad(5, []int{4, 16}, 10, 256)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab)
+	}
+	parseKB := func(s string) float64 {
+		var v float64
+		var unit string
+		if _, err := fmt.Sscanf(s, "%f %s", &v, &unit); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		switch unit {
+		case "MB":
+			return v * 1024
+		case "KB":
+			return v
+		case "B":
+			return v / 1024
+		}
+		t.Fatalf("unit %q", unit)
+		return 0
+	}
+	usenetSmall, usenetLarge := parseKB(tab.Rows[0][1]), parseKB(tab.Rows[1][1])
+	fedSmall, fedLarge := parseKB(tab.Rows[0][2]), parseKB(tab.Rows[1][2])
+	// Usenet per-server cost grows ~linearly with network size.
+	if usenetLarge < 3*usenetSmall {
+		t.Errorf("usenet cost did not scale with network size:\n%s", tab)
+	}
+	// Federated-home per-server cost stays ~flat.
+	if fedLarge > 1.5*fedSmall {
+		t.Errorf("federated-home cost should stay flat:\n%s", tab)
+	}
+	// At scale, flooding costs more per server than follower-scoped sync.
+	if usenetLarge <= fedLarge {
+		t.Errorf("usenet at 16 servers should out-cost federated-home:\n%s", tab)
+	}
+}
+
+func TestFeasibilitySensitivityShape(t *testing.T) {
+	tab := FeasibilitySensitivity()
+	if len(tab.Rows) < 7 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Paper constants: everything sufficient.
+	for c := 2; c <= 4; c++ {
+		if tab.Rows[0][c] != "true" {
+			t.Errorf("paper row column %d = %q:\n%s", c, tab.Rows[0][c], tab)
+		}
+	}
+	// 25 GB free per PC drops device storage below the cloud's 80 EB.
+	found := false
+	for _, row := range tab.Rows {
+		if strings.Contains(row[0], "25 GB") {
+			found = true
+			if row[4] != "false" {
+				t.Errorf("25GB variant should break the storage conclusion:\n%s", tab)
+			}
+		}
+	}
+	if !found {
+		t.Error("25 GB variant missing")
+	}
+	// Quality discount at 3x redundancy breaks storage too.
+	for _, row := range tab.Rows {
+		if strings.Contains(row[0], "3x redundancy") && row[4] != "false" {
+			t.Errorf("quality-discount row should break storage:\n%s", tab)
+		}
+	}
+}
+
+func TestAbuseContainmentShape(t *testing.T) {
+	tab := AbuseContainment(7, 12, []float64{0, 0.5, 1})
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab)
+	}
+	get := func(r, c int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[r][c], 64)
+		if err != nil {
+			t.Fatalf("parse %q", tab.Rows[r][c])
+		}
+		return v
+	}
+	// Centralized: step function — full exposure off, zero on.
+	if get(0, 1) != 1 || get(0, 3) != 0 {
+		t.Errorf("centralized should be all-or-nothing:\n%s", tab)
+	}
+	// Federated: monotone decreasing in coverage, partial at 50%%.
+	if !(get(1, 1) > get(1, 2) && get(1, 2) > get(1, 3)) {
+		t.Errorf("federated exposure should fall with coverage:\n%s", tab)
+	}
+	if get(1, 3) != 0 {
+		t.Errorf("full federated coverage should stop all spam:\n%s", tab)
+	}
+	// Social P2P: zero exposure from strangers; grows with befriending.
+	if get(2, 1) != 0 {
+		t.Errorf("stranger spam should be refused by the trust graph:\n%s", tab)
+	}
+	if get(2, 3) != 1 {
+		t.Errorf("fully-befriended spammer reaches everyone:\n%s", tab)
+	}
+}
+
+func TestSelfishMiningCrossover(t *testing.T) {
+	tab := SelfishMining(11, 8, 120)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab)
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("parse %q", s)
+		}
+		return v
+	}
+	// At 20% hashrate with γ=0 selfish mining must lose.
+	if parse(tab.Rows[0][2]) >= parse(tab.Rows[0][1]) {
+		t.Errorf("selfish should lose at 20%%:\n%s", tab)
+	}
+	// At 45% it must win, and clearly exceed the fair share.
+	if parse(tab.Rows[4][2]) <= parse(tab.Rows[4][1]) {
+		t.Errorf("selfish should win at 45%%:\n%s", tab)
+	}
+	if parse(tab.Rows[4][2]) < 0.5 {
+		t.Errorf("selfish at 45%% should exceed half the rewards:\n%s", tab)
+	}
+}
+
+func TestDHTQualityShape(t *testing.T) {
+	tab := DHTQuality(5, 30, 25)
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab)
+	}
+	parsePct := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			t.Fatalf("parse %q", s)
+		}
+		return v
+	}
+	parseMs := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
+		if err != nil {
+			t.Fatalf("parse %q", s)
+		}
+		return v
+	}
+	// Stable networks succeed nearly always on every profile.
+	for _, r := range []int{0, 3, 6} {
+		if parsePct(tab.Rows[r][2]) < 85 {
+			t.Errorf("%s stable success too low:\n%s", tab.Rows[r][0], tab)
+		}
+	}
+	// Device-grade latency must dominate datacenter latency (stable rows).
+	dc, bb, mob := parseMs(tab.Rows[0][3]), parseMs(tab.Rows[3][3]), parseMs(tab.Rows[6][3])
+	if !(dc < bb && bb < mob) {
+		t.Errorf("latency ordering dc(%v) < broadband(%v) < mobile(%v) violated:\n%s", dc, bb, mob, tab)
+	}
+	// Republish should not hurt success under churn (average over profiles).
+	withR, withoutR := 0.0, 0.0
+	for _, r := range []int{1, 4, 7} {
+		withR += parsePct(tab.Rows[r][2])
+	}
+	for _, r := range []int{2, 5, 8} {
+		withoutR += parsePct(tab.Rows[r][2])
+	}
+	if withR < withoutR {
+		t.Errorf("republish should improve churn survival on average:\n%s", tab)
+	}
+}
+
+func TestWoTSybilShape(t *testing.T) {
+	tab := WoTSybil(3, 12, []int{10, 100})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab)
+	}
+	for i, ring := range []int{10, 100} {
+		before, err1 := strconv.Atoi(tab.Rows[i][1])
+		after, err2 := strconv.Atoi(tab.Rows[i][2])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("parse row %d: %v", i, tab.Rows[i])
+		}
+		if before != 0 {
+			t.Errorf("ring %d: %d sybils trusted before any bridge:\n%s", ring, before, tab)
+		}
+		if after != ring {
+			t.Errorf("ring %d: %d trusted after bridge, want the whole ring:\n%s", ring, after, tab)
+		}
+	}
+}
+
+func TestLedgerGrowthShape(t *testing.T) {
+	tab := LedgerGrowth(9, 2, 10)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab)
+	}
+	blocks1, _ := strconv.Atoi(tab.Rows[0][1])
+	blocks2, _ := strconv.Atoi(tab.Rows[1][1])
+	if blocks2 <= blocks1 || blocks1 < 100 {
+		t.Errorf("chain not growing: %d then %d:\n%s", blocks1, blocks2, tab)
+	}
+	states1, _ := strconv.Atoi(tab.Rows[0][4])
+	states2, _ := strconv.Atoi(tab.Rows[1][4])
+	if states1 != 101 || states2 != 101 {
+		t.Errorf("compaction not holding states constant: %d, %d:\n%s", states1, states2, tab)
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/cryptoutil"
+	"repro/internal/simnet"
+)
+
+// FiftyOnePercent is experiment X2: an attacker with a fraction q of the
+// network hashrate mines a private branch from genesis while honest miners
+// extend the public chain; after a fixed horizon the attacker publishes.
+// Success means the honest replica reorgs onto the attacker branch. The
+// paper (§3.1) lists the 51 % attack among blockchains' "well-known
+// problems": success probability should collapse for q < 0.5 and approach
+// certainty above it.
+func FiftyOnePercent(seed int64, trials int, horizonBlocks int) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("X2: private-branch (51%%) attack, horizon ≈%d blocks, %d trials/share", horizonBlocks, trials),
+		Headers: []string{"Attacker Hashrate Share", "Reorg Success Rate", "Mean Attacker Lead (blocks)"},
+	}
+	for _, share := range []float64{0.1, 0.2, 0.3, 0.4, 0.45, 0.55, 0.6, 0.75} {
+		wins := 0
+		var leadSum float64
+		for trial := 0; trial < trials; trial++ {
+			won, lead := fiftyOneTrial(seed+int64(trial)*1000+int64(share*100), share, horizonBlocks)
+			if won {
+				wins++
+			}
+			leadSum += float64(lead)
+		}
+		t.Add(fmt.Sprintf("%.0f%%", share*100),
+			fmt.Sprintf("%.0f%%", 100*float64(wins)/float64(trials)),
+			fmt.Sprintf("%+.1f", leadSum/float64(trials)))
+	}
+	return t
+}
+
+// fiftyOneTrial runs one race and reports whether the honest node reorged
+// onto the attacker branch, plus the attacker's block lead at publication.
+func fiftyOneTrial(seed int64, share float64, horizonBlocks int) (bool, int) {
+	nw := simnet.New(seed)
+	spacing := 10 * time.Second
+	cfg := chain.Config{InitialDifficulty: 1 << 10, TargetSpacing: spacing, Subsidy: 50}
+	total := float64(cfg.InitialDifficulty) / spacing.Seconds() // network hashrate for 1 block/spacing
+
+	miners := newMinerNet(nw, 2, 0, cfg)
+	honest, attacker := miners[0], miners[1]
+	honest.SetHashrate(total * (1 - share))
+	attacker.SetHashrate(total * share)
+	attacker.SetWithhold(true)
+	attacker.SetMiningTarget(attacker.Chain().HeadHash()) // fork at genesis
+
+	honest.Start()
+	attacker.Start()
+	nw.Run(time.Duration(horizonBlocks) * spacing)
+	honest.Stop()
+	attacker.Stop()
+	nw.RunAll()
+
+	lead := len(attacker.Withheld()) - int(honest.Chain().Height())
+	attacker.Release()
+	nw.RunAll()
+	return honest.Chain().Reorgs() > 0, lead
+}
+
+// DoubleSpend demonstrates the canonical consequence of a successful
+// private-branch attack: a payment confirmed on the public chain vanishes
+// after the reorg. It returns the victim's observed balance before and
+// after the attack branch is published.
+func DoubleSpend(seed int64) (before, after uint64) {
+	nw := simnet.New(seed)
+	spacing := 10 * time.Second
+	kp, err := cryptoutil.GenerateKeyPair(nw.Rand())
+	if err != nil {
+		panic(err)
+	}
+	cfg := chain.Config{
+		InitialDifficulty: 1 << 10,
+		TargetSpacing:     spacing,
+		Subsidy:           50,
+		GenesisAlloc:      map[chain.Address]uint64{kp.Fingerprint(): 1000},
+	}
+	total := float64(cfg.InitialDifficulty) / spacing.Seconds()
+	miners := newMinerNet(nw, 2, 0, cfg)
+	honest, attacker := miners[0], miners[1]
+	honest.SetHashrate(total * 0.3)
+	attacker.SetHashrate(total * 0.7)
+	attacker.SetWithhold(true)
+	attacker.SetMiningTarget(attacker.Chain().HeadHash())
+
+	victim := chain.Address{0x56}
+	pay := &chain.Tx{To: victim, Amount: 500, Fee: 1, Nonce: 0, Kind: chain.KindPayment}
+	pay.Sign(kp)
+	// The attacker (who colludes with the payer in the classic scenario)
+	// seeds its private mempool with a conflicting, higher-fee spend of the
+	// same nonce back to the payer, so the private branch never includes
+	// the victim's payment.
+	conflict := &chain.Tx{To: kp.Fingerprint(), Amount: 0, Fee: 5, Nonce: 0, Kind: chain.KindPayment}
+	conflict.Sign(kp)
+	attacker.Pool().Add(conflict)
+
+	honest.Start()
+	attacker.Start()
+	nw.After(time.Second, func() { honest.SubmitTx(pay) })
+	nw.Run(20 * spacing)
+	honest.Stop()
+	attacker.Stop()
+	nw.RunAll()
+
+	before = honest.Chain().State().Balance(victim)
+	attacker.Release()
+	nw.RunAll()
+	after = honest.Chain().State().Balance(victim)
+	return before, after
+}

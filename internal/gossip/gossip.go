@@ -1,0 +1,237 @@
+// Package gossip implements epidemic broadcast with anti-entropy repair
+// over internal/simnet. New items flood to a random fanout of peers with
+// duplicate suppression; a periodic push-pull digest exchange repairs holes
+// left by message loss and downtime.
+//
+// The federated group-communication model (§3.2: Matrix "provides high
+// availability by replicating data over the entire network") and the
+// hostless-web seeding layer (§3.4) are built on this package.
+package gossip
+
+import (
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/simnet"
+)
+
+// Item is one gossiped datum. ID must be unique (typically a content
+// hash); Size is the simulated wire size of Data.
+type Item struct {
+	ID   cryptoutil.Hash
+	Data any
+	Size int
+}
+
+// Config tunes a gossip member. Zero values select: fanout 3, anti-entropy
+// every 30 s.
+type Config struct {
+	// Fanout is how many random peers each new item is pushed to.
+	Fanout int
+	// AntiEntropyInterval is the period of digest exchanges with a random
+	// peer. Zero disables anti-entropy (push-only gossip).
+	AntiEntropyInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fanout == 0 {
+		c.Fanout = 3
+	}
+	return c
+}
+
+// Wire kinds.
+const (
+	msgPush  = "gossip.push"  // payload Item
+	msgSync  = "gossip.sync"  // payload syncDigest
+	msgDelta = "gossip.delta" // payload syncDelta
+)
+
+type syncDigest struct {
+	from simnet.NodeID
+	ids  []cryptoutil.Hash
+}
+
+type syncDelta struct {
+	items []Item            // items the receiver was missing
+	want  []cryptoutil.Hash // items the sender is missing and requests back
+}
+
+// Member is one gossip participant.
+type Member struct {
+	node  *simnet.Node
+	cfg   Config
+	peers []simnet.NodeID
+	items map[cryptoutil.Hash]Item
+	order []cryptoutil.Hash // delivery order, for digesting and inspection
+	// onDeliver observers fire once per item on first receipt.
+	onDeliver []func(Item)
+}
+
+// NewMember attaches a gossip member to a node. Anti-entropy (if enabled)
+// starts immediately and pauses automatically while the node is down.
+func NewMember(node *simnet.Node, cfg Config) *Member {
+	m := &Member{
+		node:  node,
+		cfg:   cfg.withDefaults(),
+		items: map[cryptoutil.Hash]Item{},
+	}
+	node.Handle(msgPush, m.onPush)
+	node.Handle(msgSync, m.onSync)
+	node.Handle(msgDelta, m.onDelta)
+	if m.cfg.AntiEntropyInterval > 0 {
+		m.scheduleAntiEntropy()
+	}
+	return m
+}
+
+// Node returns the underlying simnet node.
+func (m *Member) Node() *simnet.Node { return m.node }
+
+// SetPeers replaces the peer set used for pushes and anti-entropy.
+func (m *Member) SetPeers(peers []simnet.NodeID) { m.peers = peers }
+
+// Peers returns the current peer set.
+func (m *Member) Peers() []simnet.NodeID { return m.peers }
+
+// OnDeliver registers an observer called exactly once per item, at first
+// receipt (including items this member publishes itself).
+func (m *Member) OnDeliver(f func(Item)) { m.onDeliver = append(m.onDeliver, f) }
+
+// Has reports whether the member holds the item.
+func (m *Member) Has(id cryptoutil.Hash) bool { _, ok := m.items[id]; return ok }
+
+// Get returns a held item.
+func (m *Member) Get(id cryptoutil.Hash) (Item, bool) { it, ok := m.items[id]; return it, ok }
+
+// Len returns how many items the member holds.
+func (m *Member) Len() int { return len(m.items) }
+
+// IDs returns all held item IDs in delivery order.
+func (m *Member) IDs() []cryptoutil.Hash {
+	out := make([]cryptoutil.Hash, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Publish introduces a new item at this member and pushes it to the
+// network.
+func (m *Member) Publish(it Item) {
+	if m.accept(it) {
+		m.push(it, -1)
+	}
+}
+
+// accept stores a new item and fires delivery observers; returns false for
+// duplicates.
+func (m *Member) accept(it Item) bool {
+	if _, ok := m.items[it.ID]; ok {
+		return false
+	}
+	m.items[it.ID] = it
+	m.order = append(m.order, it.ID)
+	for _, f := range m.onDeliver {
+		f(it)
+	}
+	return true
+}
+
+// push forwards an item to up to Fanout random peers, skipping exclude.
+func (m *Member) push(it Item, exclude simnet.NodeID) {
+	if len(m.peers) == 0 {
+		return
+	}
+	rng := m.node.Network().Rand()
+	perm := rng.Perm(len(m.peers))
+	sent := 0
+	for _, pi := range perm {
+		if sent >= m.cfg.Fanout {
+			break
+		}
+		p := m.peers[pi]
+		if p == exclude || p == m.node.ID() {
+			continue
+		}
+		m.node.Send(p, msgPush, it, it.Size+40)
+		sent++
+	}
+}
+
+func (m *Member) onPush(msg simnet.Message) {
+	it, ok := msg.Payload.(Item)
+	if !ok {
+		return
+	}
+	if m.accept(it) {
+		m.push(it, msg.From) // continue the epidemic
+	}
+}
+
+func (m *Member) scheduleAntiEntropy() {
+	nw := m.node.Network()
+	// Jitter the period ±25 % so members don't synchronize.
+	period := m.cfg.AntiEntropyInterval
+	jit := time.Duration(nw.Rand().Int63n(int64(period)/2)) - period/4
+	nw.After(period+jit, func() {
+		if m.node.Up() && len(m.peers) > 0 {
+			peer := m.peers[nw.Rand().Intn(len(m.peers))]
+			if peer != m.node.ID() {
+				digest := syncDigest{from: m.node.ID(), ids: m.IDs()}
+				m.node.Send(peer, msgSync, digest, 16+32*len(digest.ids))
+			}
+		}
+		m.scheduleAntiEntropy()
+	})
+}
+
+func (m *Member) onSync(msg simnet.Message) {
+	d, ok := msg.Payload.(syncDigest)
+	if !ok {
+		return
+	}
+	theirs := make(map[cryptoutil.Hash]bool, len(d.ids))
+	for _, id := range d.ids {
+		theirs[id] = true
+	}
+	var delta syncDelta
+	size := 16
+	for _, id := range m.order { // delivery order: deterministic
+		if it, ok := m.items[id]; ok && !theirs[id] {
+			delta.items = append(delta.items, it)
+			size += it.Size + 40
+		}
+	}
+	for _, id := range d.ids {
+		if !m.Has(id) {
+			delta.want = append(delta.want, id)
+			size += 32
+		}
+	}
+	if len(delta.items) == 0 && len(delta.want) == 0 {
+		return // in sync
+	}
+	m.node.Send(d.from, msgDelta, delta, size)
+}
+
+func (m *Member) onDelta(msg simnet.Message) {
+	d, ok := msg.Payload.(syncDelta)
+	if !ok {
+		return
+	}
+	for _, it := range d.items {
+		m.accept(it)
+	}
+	if len(d.want) > 0 {
+		var back syncDelta
+		size := 16
+		for _, id := range d.want {
+			if it, ok := m.items[id]; ok {
+				back.items = append(back.items, it)
+				size += it.Size + 40
+			}
+		}
+		if len(back.items) > 0 {
+			m.node.Send(msg.From, msgDelta, back, size)
+		}
+	}
+}

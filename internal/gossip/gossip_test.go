@@ -1,0 +1,194 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/simnet"
+)
+
+func item(s string) Item {
+	return Item{ID: cryptoutil.SumHash([]byte(s)), Data: s, Size: len(s)}
+}
+
+// buildGroup creates n fully meshed gossip members.
+func buildGroup(t testing.TB, seed int64, n int, cfg Config) (*simnet.Network, []*Member) {
+	t.Helper()
+	nw := simnet.New(seed)
+	members := make([]*Member, n)
+	ids := make([]simnet.NodeID, n)
+	for i := range members {
+		node := nw.AddNode()
+		ids[i] = node.ID()
+		members[i] = NewMember(node, cfg)
+	}
+	for i, m := range members {
+		peers := make([]simnet.NodeID, 0, n-1)
+		for j, id := range ids {
+			if j != i {
+				peers = append(peers, id)
+			}
+		}
+		m.SetPeers(peers)
+	}
+	return nw, members
+}
+
+func TestFloodReachesEveryone(t *testing.T) {
+	nw, members := buildGroup(t, 1, 30, Config{Fanout: 4})
+	it := item("hello world")
+	members[0].Publish(it)
+	nw.Run(time.Minute)
+	for i, m := range members {
+		if !m.Has(it.ID) {
+			t.Errorf("member %d missed the item", i)
+		}
+	}
+}
+
+func TestDeliverFiresOncePerItem(t *testing.T) {
+	nw, members := buildGroup(t, 2, 10, Config{Fanout: 5})
+	count := 0
+	members[3].OnDeliver(func(it Item) { count++ })
+	it := item("once")
+	members[0].Publish(it)
+	members[1].Publish(it) // same item from two origins
+	nw.Run(time.Minute)
+	if count != 1 {
+		t.Errorf("delivered %d times, want 1", count)
+	}
+	if members[3].Len() != 1 {
+		t.Errorf("len = %d", members[3].Len())
+	}
+}
+
+func TestPublisherReceivesOwnDelivery(t *testing.T) {
+	nw, members := buildGroup(t, 3, 3, Config{})
+	got := false
+	members[0].OnDeliver(func(it Item) { got = true })
+	members[0].Publish(item("self"))
+	nw.Run(time.Second)
+	if !got {
+		t.Error("publisher did not observe its own item")
+	}
+}
+
+func TestAntiEntropyRepairsCrashedNode(t *testing.T) {
+	nw, members := buildGroup(t, 4, 10, Config{Fanout: 2, AntiEntropyInterval: 10 * time.Second})
+	late := members[9]
+	late.Node().Crash()
+	for i := 0; i < 5; i++ {
+		members[0].Publish(item(fmt.Sprintf("while-down-%d", i)))
+	}
+	nw.Run(time.Minute)
+	if late.Len() != 0 {
+		t.Fatal("crashed node received items")
+	}
+	late.Node().Restart()
+	nw.Run(10 * time.Minute) // several anti-entropy rounds
+	if late.Len() != 5 {
+		t.Errorf("restarted node has %d/5 items after anti-entropy", late.Len())
+	}
+}
+
+func TestPushOnlyDoesNotRepair(t *testing.T) {
+	nw, members := buildGroup(t, 5, 10, Config{Fanout: 2}) // no anti-entropy
+	late := members[9]
+	late.Node().Crash()
+	members[0].Publish(item("missed"))
+	nw.Run(time.Minute)
+	late.Node().Restart()
+	nw.Run(10 * time.Minute)
+	if late.Len() != 0 {
+		t.Error("push-only gossip should not repair after restart")
+	}
+}
+
+func TestAntiEntropyBidirectional(t *testing.T) {
+	// Two members each hold a unique item; one sync round should leave both
+	// with both items.
+	nw, members := buildGroup(t, 6, 2, Config{Fanout: 0, AntiEntropyInterval: 5 * time.Second})
+	// Fanout 0 defaults to 3; publish while the peer is partitioned away so
+	// pushes fail, then heal.
+	a, b := members[0], members[1]
+	nw.Partition([]simnet.NodeID{a.Node().ID()}, []simnet.NodeID{b.Node().ID()})
+	a.Publish(item("from-a"))
+	b.Publish(item("from-b"))
+	nw.Run(time.Second)
+	nw.Heal()
+	nw.Run(5 * time.Minute)
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Errorf("after sync: a=%d b=%d items, want 2/2", a.Len(), b.Len())
+	}
+}
+
+func TestLossyNetworkStillConverges(t *testing.T) {
+	nw := simnet.New(7)
+	nw.SetDefaultProfile(simnet.LinkProfile{Latency: 5 * time.Millisecond, Loss: 0.15})
+	members := make([]*Member, 20)
+	ids := make([]simnet.NodeID, 20)
+	for i := range members {
+		node := nw.AddNode()
+		ids[i] = node.ID()
+		members[i] = NewMember(node, Config{Fanout: 3, AntiEntropyInterval: 20 * time.Second})
+	}
+	for i, m := range members {
+		var peers []simnet.NodeID
+		for j, id := range ids {
+			if j != i {
+				peers = append(peers, id)
+			}
+		}
+		m.SetPeers(peers)
+	}
+	for i := 0; i < 10; i++ {
+		members[i].Publish(item(fmt.Sprintf("msg-%d", i)))
+	}
+	nw.Run(15 * time.Minute)
+	for i, m := range members {
+		if m.Len() != 10 {
+			t.Errorf("member %d has %d/10 items despite anti-entropy", i, m.Len())
+		}
+	}
+}
+
+func TestIDsPreserveDeliveryOrder(t *testing.T) {
+	nw, members := buildGroup(t, 8, 2, Config{})
+	a := members[0]
+	i1, i2 := item("first"), item("second")
+	a.Publish(i1)
+	a.Publish(i2)
+	nw.Run(time.Second)
+	ids := a.IDs()
+	if len(ids) != 2 || ids[0] != i1.ID || ids[1] != i2.ID {
+		t.Error("IDs not in delivery order")
+	}
+	got, ok := a.Get(i1.ID)
+	if !ok || got.Data != "first" {
+		t.Error("Get failed")
+	}
+}
+
+func TestNoPeersPublishIsLocal(t *testing.T) {
+	nw := simnet.New(9)
+	m := NewMember(nw.AddNode(), Config{})
+	m.Publish(item("solo"))
+	nw.Run(time.Second)
+	if m.Len() != 1 {
+		t.Error("local publish failed with no peers")
+	}
+	if nw.Trace().Sent != 0 {
+		t.Error("peerless member sent traffic")
+	}
+}
+
+func BenchmarkFlood50(b *testing.B) {
+	nw, members := buildGroup(b, 10, 50, Config{Fanout: 3})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		members[i%50].Publish(item(fmt.Sprintf("bench-%d", i)))
+		nw.Run(nw.Now() + time.Minute)
+	}
+}

@@ -1,0 +1,125 @@
+package groupcomm
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+// Lockr-style relationship credentials (§3.2: Persona and Lockr "allow
+// users to define relationships with other users and ensur[e] that
+// relationships are not exploited"). A Relationship is a signed statement
+// by a data owner that a specific key holder stands in a named relation
+// ("friend", "family", …) to them, with an expiry. Access to the owner's
+// content is granted only to a party that (a) presents a verifiable
+// credential and (b) proves possession of the holder key by signing a
+// fresh challenge — so a leaked or stolen credential is useless, which is
+// exactly the "not exploited" property.
+
+// Relationship is one signed social-relationship credential.
+type Relationship struct {
+	// Issuer is the data owner's key fingerprint.
+	Issuer cryptoutil.Hash
+	// HolderPub is the public key of the befriended party; access requires
+	// proving possession of the matching private key.
+	HolderPub ed25519.PublicKey
+	// Relation names the access class this credential grants.
+	Relation string
+	// Expires is the simulation time after which the credential is void.
+	Expires time.Duration
+	Sig     []byte
+}
+
+func (r *Relationship) signingBytes() []byte {
+	buf := make([]byte, 0, 64+len(r.HolderPub)+len(r.Relation)+8)
+	buf = append(buf, []byte("lockr-rel|")...)
+	buf = append(buf, r.Issuer[:]...)
+	buf = append(buf, r.HolderPub...)
+	buf = append(buf, []byte(r.Relation)...)
+	var e [8]byte
+	binary.BigEndian.PutUint64(e[:], uint64(r.Expires))
+	buf = append(buf, e[:]...)
+	return buf
+}
+
+// IssueRelationship signs a credential binding holderPub into relation with
+// the issuer until expires.
+func IssueRelationship(issuer *cryptoutil.KeyPair, holderPub ed25519.PublicKey, relation string, expires time.Duration) *Relationship {
+	r := &Relationship{
+		Issuer:    issuer.Fingerprint(),
+		HolderPub: append(ed25519.PublicKey{}, holderPub...),
+		Relation:  relation,
+		Expires:   expires,
+	}
+	r.Sig = issuer.Sign(r.signingBytes())
+	return r
+}
+
+// Verify checks the credential's signature, issuer binding, and expiry.
+func (r *Relationship) Verify(issuerPub ed25519.PublicKey, now time.Duration) bool {
+	if r == nil || cryptoutil.PublicFingerprint(issuerPub) != r.Issuer {
+		return false
+	}
+	if now >= r.Expires {
+		return false
+	}
+	return cryptoutil.Verify(issuerPub, r.signingBytes(), r.Sig)
+}
+
+// ProveHolder signs an access challenge with the holder key.
+func ProveHolder(holder *cryptoutil.KeyPair, challenge []byte) []byte {
+	return holder.Sign(append([]byte("lockr-challenge|"), challenge...))
+}
+
+// VerifyHolder checks a challenge signature against the credential's
+// holder key — the possession proof that stops credential theft.
+func VerifyHolder(r *Relationship, challenge, sig []byte) bool {
+	if r == nil {
+		return false
+	}
+	return cryptoutil.Verify(r.HolderPub, append([]byte("lockr-challenge|"), challenge...), sig)
+}
+
+// ContentGuard gates access to one owner's content by relation class, with
+// per-credential revocation.
+type ContentGuard struct {
+	ownerPub ed25519.PublicKey
+	// required is the relation class the guarded content demands.
+	required string
+	revoked  map[string]bool // fingerprint of revoked holder keys
+	// Granted/Denied count access decisions.
+	Granted, Denied int
+}
+
+// NewContentGuard guards content owned by ownerPub requiring the given
+// relation.
+func NewContentGuard(ownerPub ed25519.PublicKey, requiredRelation string) *ContentGuard {
+	return &ContentGuard{
+		ownerPub: append(ed25519.PublicKey{}, ownerPub...),
+		required: requiredRelation,
+		revoked:  map[string]bool{},
+	}
+}
+
+// Revoke blocks a specific holder key even while its credential is
+// otherwise valid (the owner changed their mind — relationship revocation).
+func (g *ContentGuard) Revoke(holderPub ed25519.PublicKey) {
+	g.revoked[cryptoutil.PublicFingerprint(holderPub).String()] = true
+}
+
+// Access decides one request: credential valid, relation sufficient,
+// holder possession proven, and not revoked.
+func (g *ContentGuard) Access(r *Relationship, challenge, holderSig []byte, now time.Duration) bool {
+	ok := r.Verify(g.ownerPub, now) &&
+		r.Relation == g.required &&
+		VerifyHolder(r, challenge, holderSig) &&
+		!g.revoked[cryptoutil.PublicFingerprint(r.HolderPub).String()]
+	if ok {
+		g.Granted++
+	} else {
+		g.Denied++
+	}
+	return ok
+}

@@ -1,0 +1,110 @@
+package groupcomm
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+func lockrKeys(t *testing.T) (owner, friend, mallory *cryptoutil.KeyPair) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	mk := func() *cryptoutil.KeyPair {
+		kp, err := cryptoutil.GenerateKeyPair(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return kp
+	}
+	return mk(), mk(), mk()
+}
+
+func TestLockrCredentialGrantsAccess(t *testing.T) {
+	owner, friend, _ := lockrKeys(t)
+	cred := IssueRelationship(owner, friend.Public, "friend", time.Hour)
+	guard := NewContentGuard(owner.Public, "friend")
+
+	challenge := []byte("nonce-1")
+	sig := ProveHolder(friend, challenge)
+	if !guard.Access(cred, challenge, sig, 30*time.Minute) {
+		t.Fatal("valid friend denied")
+	}
+	if guard.Granted != 1 {
+		t.Error("grant not counted")
+	}
+}
+
+func TestLockrStolenCredentialUseless(t *testing.T) {
+	owner, friend, mallory := lockrKeys(t)
+	cred := IssueRelationship(owner, friend.Public, "friend", time.Hour)
+	guard := NewContentGuard(owner.Public, "friend")
+
+	// Mallory has the credential bytes but not the friend's key: her
+	// challenge signature cannot verify against HolderPub.
+	challenge := []byte("nonce-2")
+	sig := ProveHolder(mallory, challenge)
+	if guard.Access(cred, challenge, sig, time.Minute) {
+		t.Fatal("stolen credential granted access — 'relationships exploited'")
+	}
+	// Replaying the friend's old signature on a new challenge also fails.
+	oldSig := ProveHolder(friend, []byte("nonce-2-old"))
+	if guard.Access(cred, []byte("nonce-3"), oldSig, time.Minute) {
+		t.Fatal("replayed possession proof accepted")
+	}
+}
+
+func TestLockrExpiryRelationAndForgery(t *testing.T) {
+	owner, friend, mallory := lockrKeys(t)
+	guard := NewContentGuard(owner.Public, "friend")
+	challenge := []byte("nonce-4")
+
+	// Expired credential.
+	expired := IssueRelationship(owner, friend.Public, "friend", time.Minute)
+	if guard.Access(expired, challenge, ProveHolder(friend, challenge), 2*time.Minute) {
+		t.Error("expired credential accepted")
+	}
+	// Wrong relation class.
+	acquaintance := IssueRelationship(owner, friend.Public, "acquaintance", time.Hour)
+	if guard.Access(acquaintance, challenge, ProveHolder(friend, challenge), time.Minute) {
+		t.Error("insufficient relation accepted")
+	}
+	// Forged credential (signed by mallory, claiming the owner).
+	forged := IssueRelationship(mallory, mallory.Public, "friend", time.Hour)
+	forged.Issuer = owner.Fingerprint()
+	if guard.Access(forged, challenge, ProveHolder(mallory, challenge), time.Minute) {
+		t.Error("forged credential accepted")
+	}
+	// Tampered relation on a real credential.
+	real := IssueRelationship(owner, friend.Public, "acquaintance", time.Hour)
+	real.Relation = "friend"
+	if guard.Access(real, challenge, ProveHolder(friend, challenge), time.Minute) {
+		t.Error("tampered credential accepted")
+	}
+	if guard.Denied != 4 {
+		t.Errorf("denied = %d, want 4", guard.Denied)
+	}
+	// Nil safety.
+	if (&Relationship{}).Verify(owner.Public, 0) {
+		t.Error("zero credential verified")
+	}
+	if VerifyHolder(nil, challenge, nil) {
+		t.Error("nil credential holder-verified")
+	}
+}
+
+func TestLockrRevocation(t *testing.T) {
+	owner, friend, _ := lockrKeys(t)
+	cred := IssueRelationship(owner, friend.Public, "friend", time.Hour)
+	guard := NewContentGuard(owner.Public, "friend")
+	challenge := []byte("nonce-5")
+	sig := ProveHolder(friend, challenge)
+	if !guard.Access(cred, challenge, sig, time.Minute) {
+		t.Fatal("pre-revocation access denied")
+	}
+	guard.Revoke(friend.Public)
+	if guard.Access(cred, challenge, sig, time.Minute) {
+		t.Fatal("revoked holder still granted access")
+	}
+}

@@ -1,0 +1,209 @@
+package groupcomm
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cryptoutil"
+)
+
+// OTR-style messaging (§3.2: "OTR introduces the concepts of repudiability
+// and forgeability to the discussion"). Where the double ratchet aims for
+// strong authentication, OTR deliberately weakens *after-the-fact*
+// attribution:
+//
+//   - messages are encrypted with a malleable stream cipher (AES-CTR) and
+//     authenticated with HMAC — good enough online, unattributable later;
+//   - when a session re-keys, the sender REVEALS the retired MAC key in
+//     the next message. From then on anyone holding the transcript can
+//     forge validly-MACed messages for old epochs, so a transcript proves
+//     nothing about who said what: repudiability by design.
+//
+// OTRForge demonstrates the forgeability property explicitly.
+
+// OTRMessage is one message on the wire.
+type OTRMessage struct {
+	Epoch      int
+	IV         []byte
+	Ciphertext []byte
+	MAC        []byte
+	// RevealedMACKeys carries retired MAC keys (one per re-key since the
+	// last message), enabling third-party forgery of earlier epochs.
+	RevealedMACKeys [][]byte
+}
+
+// WireSize returns the simulated size in bytes.
+func (m *OTRMessage) WireSize() int {
+	n := 8 + len(m.IV) + len(m.Ciphertext) + len(m.MAC)
+	for _, k := range m.RevealedMACKeys {
+		n += len(k)
+	}
+	return n
+}
+
+// OTRSession is one endpoint of an OTR-style session. Both endpoints share
+// symmetric epoch keys (in full OTR these come from a DH ratchet; the key
+// schedule here is an HKDF chain, which preserves the properties under
+// study: per-epoch keys, retirement, and reveal).
+type OTRSession struct {
+	encKey  []byte
+	macKey  []byte
+	epoch   int
+	rand    io.Reader
+	counter uint64
+	// pendingReveal holds retired MAC keys to disclose on the next send.
+	pendingReveal [][]byte
+	// revealed collects all retired keys seen (ours and the peer's) —
+	// the public forgery material.
+	revealed map[int][]byte
+	// oldMACs/oldEncs let late messages from previous epochs still verify
+	// and decrypt.
+	oldMACs map[int][]byte
+	oldEncs map[int][]byte
+}
+
+// NewOTRPair derives two synchronized session endpoints from a shared
+// secret (obtained out of band, e.g. a DH handshake).
+func NewOTRPair(rand io.Reader, secret []byte) (*OTRSession, *OTRSession) {
+	mk := func() *OTRSession {
+		keys := cryptoutil.HKDF(secret, nil, []byte("otr-epoch-0"), 64)
+		return &OTRSession{
+			encKey:   keys[:32],
+			macKey:   keys[32:],
+			rand:     rand,
+			revealed: map[int][]byte{},
+			oldMACs:  map[int][]byte{},
+			oldEncs:  map[int][]byte{},
+		}
+	}
+	return mk(), mk()
+}
+
+// Epoch returns the session's current key epoch.
+func (s *OTRSession) Epoch() int { return s.epoch }
+
+// RevealedMACKey returns the retired MAC key for an epoch, if it has been
+// disclosed — the material a transcript holder needs to forge.
+func (s *OTRSession) RevealedMACKey(epoch int) ([]byte, bool) {
+	k, ok := s.revealed[epoch]
+	return k, ok
+}
+
+func otrMAC(macKey []byte, epoch int, iv, ct []byte) []byte {
+	var e [8]byte
+	binary.BigEndian.PutUint64(e[:], uint64(epoch))
+	msg := append(append(append([]byte{}, e[:]...), iv...), ct...)
+	return cryptoutil.HMAC256(macKey, msg)
+}
+
+func otrStream(encKey, iv, data []byte) ([]byte, error) {
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(data))
+	cipher.NewCTR(block, iv).XORKeyStream(out, data)
+	return out, nil
+}
+
+// Send encrypts and MACs a message in the current epoch, attaching any
+// MAC keys retired since the last send.
+func (s *OTRSession) Send(plaintext []byte) (*OTRMessage, error) {
+	iv := make([]byte, aes.BlockSize)
+	binary.BigEndian.PutUint64(iv[:8], uint64(s.epoch))
+	s.counter++
+	binary.BigEndian.PutUint64(iv[8:], s.counter)
+	ct, err := otrStream(s.encKey, iv, plaintext)
+	if err != nil {
+		return nil, err
+	}
+	m := &OTRMessage{
+		Epoch:           s.epoch,
+		IV:              iv,
+		Ciphertext:      ct,
+		MAC:             otrMAC(s.macKey, s.epoch, iv, ct),
+		RevealedMACKeys: s.pendingReveal,
+	}
+	s.pendingReveal = nil
+	return m, nil
+}
+
+// Receive verifies and decrypts a message (current epoch or a retained
+// previous epoch), and records any MAC keys the peer revealed.
+func (s *OTRSession) Receive(m *OTRMessage) ([]byte, error) {
+	if m == nil {
+		return nil, errors.New("groupcomm: nil OTR message")
+	}
+	for i, k := range m.RevealedMACKeys {
+		// Keys are revealed oldest-first for the epochs before the current.
+		s.revealed[m.Epoch-len(m.RevealedMACKeys)+i] = k
+	}
+	macKey := s.macKey
+	switch {
+	case m.Epoch == s.epoch:
+	case m.Epoch < s.epoch:
+		old, ok := s.oldMACs[m.Epoch]
+		if !ok {
+			return nil, fmt.Errorf("groupcomm: OTR epoch %d no longer verifiable", m.Epoch)
+		}
+		macKey = old
+	default:
+		return nil, fmt.Errorf("groupcomm: OTR message from future epoch %d", m.Epoch)
+	}
+	if !bytes.Equal(m.MAC, otrMAC(macKey, m.Epoch, m.IV, m.Ciphertext)) {
+		return nil, errors.New("groupcomm: OTR MAC mismatch")
+	}
+	encKey := s.encKey
+	if m.Epoch < s.epoch {
+		encKey = s.oldEncKey(m.Epoch)
+	}
+	return otrStream(encKey, m.IV, m.Ciphertext)
+}
+
+func (s *OTRSession) oldEncKey(epoch int) []byte {
+	if k, ok := s.oldEncs[epoch]; ok {
+		return k
+	}
+	return s.encKey
+}
+
+// Rekey advances both endpoints' epoch (call on each in the same order):
+// new keys derive from the old via HKDF, the retired MAC key is queued for
+// public reveal on the next send, and the previous epoch stays verifiable
+// for stragglers.
+func (s *OTRSession) Rekey() {
+	s.oldMACs[s.epoch] = s.macKey
+	s.oldEncs[s.epoch] = s.encKey
+	s.pendingReveal = append(s.pendingReveal, s.macKey)
+	seed := append(append([]byte{}, s.encKey...), s.macKey...)
+	keys := cryptoutil.HKDF(seed, nil, []byte("otr-rekey"), 64)
+	s.encKey = keys[:32]
+	s.macKey = keys[32:]
+	s.epoch++
+	s.counter = 0
+}
+
+// OTRForge constructs a message for a retired epoch using a revealed MAC
+// key: it carries attacker-chosen ciphertext yet passes MAC verification
+// for that epoch. Its existence is the repudiability argument — once keys
+// are revealed, a transcript cannot prove authorship.
+func OTRForge(epoch int, revealedMACKey, fakeCiphertext, iv []byte) *OTRMessage {
+	return &OTRMessage{
+		Epoch:      epoch,
+		IV:         iv,
+		Ciphertext: fakeCiphertext,
+		MAC:        otrMAC(revealedMACKey, epoch, iv, fakeCiphertext),
+	}
+}
+
+// VerifyTranscriptMessage is what a third party (judge) can check given a
+// transcript message and a MAC key: whether the MAC validates. After
+// reveal, forgeries validate too, so a positive answer attributes nothing.
+func VerifyTranscriptMessage(m *OTRMessage, macKey []byte) bool {
+	return m != nil && bytes.Equal(m.MAC, otrMAC(macKey, m.Epoch, m.IV, m.Ciphertext))
+}

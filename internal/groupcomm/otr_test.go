@@ -1,0 +1,168 @@
+package groupcomm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cryptoutil"
+)
+
+func otrPair(t testing.TB, seed int64) (*OTRSession, *OTRSession) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	secret := cryptoutil.HKDF([]byte("otr shared"), nil, nil, 32)
+	return NewOTRPairHelper(rng, secret)
+}
+
+// NewOTRPairHelper mirrors NewOTRPair for tests (kept separate so the test
+// reads as the API consumer would).
+func NewOTRPairHelper(rng *rand.Rand, secret []byte) (*OTRSession, *OTRSession) {
+	return NewOTRPair(rng, secret)
+}
+
+func TestOTRBasicExchange(t *testing.T) {
+	alice, bob := otrPair(t, 1)
+	m, err := alice.Send([]byte("off the record"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WireSize() <= 0 {
+		t.Error("wire size")
+	}
+	pt, err := bob.Receive(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "off the record" {
+		t.Errorf("pt = %q", pt)
+	}
+	// Reply in the other direction.
+	r, _ := bob.Send([]byte("understood"))
+	pt, err = alice.Receive(r)
+	if err != nil || string(pt) != "understood" {
+		t.Fatalf("reply: %v %q", err, pt)
+	}
+}
+
+func TestOTRTamperDetectedOnline(t *testing.T) {
+	alice, bob := otrPair(t, 2)
+	m, _ := alice.Send([]byte("authentic"))
+	m.Ciphertext[0] ^= 0xff
+	if _, err := bob.Receive(m); err == nil {
+		t.Error("online tampering accepted")
+	}
+	if _, err := bob.Receive(nil); err == nil {
+		t.Error("nil message accepted")
+	}
+	// Future epoch rejected.
+	m2, _ := alice.Send([]byte("x"))
+	m2.Epoch = 9
+	if _, err := bob.Receive(m2); err == nil {
+		t.Error("future epoch accepted")
+	}
+}
+
+func TestOTRRekeyRevealsAndOldEpochStillReadable(t *testing.T) {
+	alice, bob := otrPair(t, 3)
+	m0, _ := alice.Send([]byte("epoch zero"))
+	if _, err := bob.Receive(m0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both sides re-key (the protocol driver coordinates this).
+	alice.Rekey()
+	bob.Rekey()
+	if alice.Epoch() != 1 || bob.Epoch() != 1 {
+		t.Fatal("epochs did not advance")
+	}
+	m1, _ := alice.Send([]byte("epoch one"))
+	if len(m1.RevealedMACKeys) != 1 {
+		t.Fatalf("revealed %d keys, want 1", len(m1.RevealedMACKeys))
+	}
+	if _, err := bob.Receive(m1); err != nil {
+		t.Fatal(err)
+	}
+	// Bob now publicly knows epoch 0's MAC key.
+	if _, ok := bob.RevealedMACKey(0); !ok {
+		t.Fatal("revealed key not recorded")
+	}
+	// A straggler message from epoch 0 still decrypts.
+	late, _ := func() (*OTRMessage, error) {
+		// craft from alice's old keys via a second pair is complex; instead
+		// send before rekey in a fresh pair to simulate reordering:
+		a2, b2 := otrPair(t, 3)
+		m, err := a2.Send([]byte("late epoch zero"))
+		_ = b2
+		return m, err
+	}()
+	if pt, err := bob.Receive(late); err != nil || string(pt) != "late epoch zero" {
+		t.Fatalf("late message: %v %q", err, pt)
+	}
+}
+
+// TestOTRForgeabilityMakesTranscriptsDeniable is the §3.2 property: after
+// key reveal, a judge cannot distinguish authentic transcript messages
+// from forgeries.
+func TestOTRForgeabilityMakesTranscriptsDeniable(t *testing.T) {
+	alice, bob := otrPair(t, 4)
+	authentic, _ := alice.Send([]byte("I said this"))
+	if _, err := bob.Receive(authentic); err != nil {
+		t.Fatal(err)
+	}
+	alice.Rekey()
+	bob.Rekey()
+	m1, _ := alice.Send([]byte("new epoch"))
+	if _, err := bob.Receive(m1); err != nil {
+		t.Fatal(err)
+	}
+	revealed, ok := bob.RevealedMACKey(0)
+	if !ok {
+		t.Fatal("no revealed key")
+	}
+
+	// The judge validates the authentic message... and the forgery.
+	if !VerifyTranscriptMessage(authentic, revealed) {
+		t.Fatal("authentic message fails judge verification")
+	}
+	forged := OTRForge(0, revealed, []byte("totally different ciphertext"), authentic.IV)
+	if !VerifyTranscriptMessage(forged, revealed) {
+		t.Fatal("forgery fails judge verification — repudiability broken")
+	}
+	// Hence a passing MAC attributes nothing: both validate identically.
+}
+
+func TestOTRMultipleRekeysRevealAllRetiredKeys(t *testing.T) {
+	alice, bob := otrPair(t, 5)
+	for i := 0; i < 3; i++ {
+		alice.Rekey()
+		bob.Rekey()
+	}
+	m, _ := alice.Send([]byte("after three rekeys"))
+	if len(m.RevealedMACKeys) != 3 {
+		t.Fatalf("revealed %d, want 3", len(m.RevealedMACKeys))
+	}
+	if _, err := bob.Receive(m); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3; e++ {
+		if _, ok := bob.RevealedMACKey(e); !ok {
+			t.Errorf("epoch %d key not revealed", e)
+		}
+	}
+	// Distinct epochs must have distinct keys.
+	k0, _ := bob.RevealedMACKey(0)
+	k1, _ := bob.RevealedMACKey(1)
+	if bytes.Equal(k0, k1) {
+		t.Error("epoch keys identical")
+	}
+}
+
+func TestOTRCiphertextsDifferAcrossMessages(t *testing.T) {
+	alice, _ := otrPair(t, 6)
+	a, _ := alice.Send([]byte("same plaintext"))
+	b, _ := alice.Send([]byte("same plaintext"))
+	if bytes.Equal(a.Ciphertext, b.Ciphertext) {
+		t.Error("CTR counter not advancing")
+	}
+}

@@ -1,0 +1,166 @@
+package groupcomm
+
+import (
+	"crypto/ecdh"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cryptoutil"
+)
+
+// Persona-style attribute groups (§3.2: Persona lets "users define access
+// levels, i.e., some users (trusted nodes or 'friends') are allowed to
+// access private data while others only have access to public data").
+// The owner mints a symmetric group key per access level ("friends",
+// "family", "coworkers"), wraps it individually for each member using an
+// X25519 agreement, and encrypts posts under the group key. Storage
+// providers and non-members relay only ciphertext; revocation rotates the
+// group key and re-wraps for the surviving members.
+
+// AccessGroup is one access level of one owner.
+type AccessGroup struct {
+	Name  string
+	owner *cryptoutil.DHKeyPair
+	key   []byte // current group key
+	// wrapped[member] holds the member's encrypted copy of the group key.
+	wrapped map[UserID][]byte
+	// memberPubs retains member keys so revocation can re-wrap.
+	memberPubs map[UserID]*ecdh.PublicKey
+	generation int
+}
+
+// NewAccessGroup mints a group with a fresh key. ownerDH is the owner's
+// long-term X25519 pair; rand supplies key material.
+func NewAccessGroup(rand io.Reader, name string, ownerDH *cryptoutil.DHKeyPair) (*AccessGroup, error) {
+	g := &AccessGroup{
+		Name:       name,
+		owner:      ownerDH,
+		wrapped:    map[UserID][]byte{},
+		memberPubs: map[UserID]*ecdh.PublicKey{},
+	}
+	if err := g.rotate(rand); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (g *AccessGroup) rotate(rand io.Reader) error {
+	key := make([]byte, 32)
+	if _, err := io.ReadFull(rand, key); err != nil {
+		return err
+	}
+	g.key = key
+	g.generation++
+	// Re-wrap for every current member.
+	for member, pub := range g.memberPubs {
+		w, err := g.wrapFor(pub)
+		if err != nil {
+			return err
+		}
+		g.wrapped[member] = w
+	}
+	return nil
+}
+
+// wrapFor encrypts the group key to a member's X25519 public key.
+func (g *AccessGroup) wrapFor(memberPub *ecdh.PublicKey) ([]byte, error) {
+	shared, err := g.owner.SharedSecret(memberPub)
+	if err != nil {
+		return nil, err
+	}
+	kek := cryptoutil.HKDF(shared, nil, []byte("persona-group-kek"), 32)
+	var gen [8]byte
+	for i := 0; i < 8; i++ {
+		gen[i] = byte(g.generation >> (8 * i))
+	}
+	return cryptoutil.Seal(kek, gen[:], g.key, []byte(g.Name))
+}
+
+// AddMember wraps the current group key for a member.
+func (g *AccessGroup) AddMember(member UserID, memberPub *ecdh.PublicKey) error {
+	w, err := g.wrapFor(memberPub)
+	if err != nil {
+		return err
+	}
+	g.memberPubs[member] = memberPub
+	g.wrapped[member] = w
+	return nil
+}
+
+// Remove revokes a member and rotates the group key so future posts are
+// unreadable to them. (Posts encrypted under earlier generations remain
+// readable to anyone who held that generation's key — the standard
+// forward-only revocation caveat, documented here deliberately.)
+func (g *AccessGroup) Remove(rand io.Reader, member UserID) error {
+	if _, ok := g.memberPubs[member]; !ok {
+		return fmt.Errorf("groupcomm: %q is not a member of %q", member, g.Name)
+	}
+	delete(g.memberPubs, member)
+	delete(g.wrapped, member)
+	return g.rotate(rand)
+}
+
+// Members lists current member IDs.
+func (g *AccessGroup) Members() int { return len(g.memberPubs) }
+
+// Generation returns the key generation (increments on every rotation).
+func (g *AccessGroup) Generation() int { return g.generation }
+
+// WrappedKeyFor returns the member's encrypted group-key copy for
+// distribution (e.g. alongside posts or via the DHT).
+func (g *AccessGroup) WrappedKeyFor(member UserID) ([]byte, bool) {
+	w, ok := g.wrapped[member]
+	return w, ok
+}
+
+// OwnerPub returns the owner's X25519 public key (members need it to
+// unwrap).
+func (g *AccessGroup) OwnerPub() *ecdh.PublicKey { return g.owner.Public }
+
+// UnwrapGroupKey recovers the group key from a wrapped copy using the
+// member's private key and the owner's public key.
+func UnwrapGroupKey(memberDH *cryptoutil.DHKeyPair, ownerPub *ecdh.PublicKey, groupName string, generation int, wrapped []byte) ([]byte, error) {
+	shared, err := memberDH.SharedSecret(ownerPub)
+	if err != nil {
+		return nil, err
+	}
+	kek := cryptoutil.HKDF(shared, nil, []byte("persona-group-kek"), 32)
+	var gen [8]byte
+	for i := 0; i < 8; i++ {
+		gen[i] = byte(generation >> (8 * i))
+	}
+	key, err := cryptoutil.Open(kek, gen[:], wrapped, []byte(groupName))
+	if err != nil {
+		return nil, errors.New("groupcomm: group key unwrap failed (not a member?)")
+	}
+	return key, nil
+}
+
+// PrivatePost is a group-encrypted post body with its key generation.
+type PrivatePost struct {
+	Generation int
+	Nonce      []byte
+	Ciphertext []byte
+}
+
+// EncryptPost seals a post body under the group's current key.
+func (g *AccessGroup) EncryptPost(rand io.Reader, plaintext []byte) (*PrivatePost, error) {
+	nonce := make([]byte, 12)
+	if _, err := io.ReadFull(rand, nonce); err != nil {
+		return nil, err
+	}
+	ct, err := cryptoutil.Seal(g.key, nonce, plaintext, []byte(g.Name))
+	if err != nil {
+		return nil, err
+	}
+	return &PrivatePost{Generation: g.generation, Nonce: nonce, Ciphertext: ct}, nil
+}
+
+// DecryptPost opens a group-encrypted post with an unwrapped group key.
+func DecryptPost(groupKey []byte, groupName string, p *PrivatePost) ([]byte, error) {
+	if p == nil {
+		return nil, errors.New("groupcomm: nil private post")
+	}
+	return cryptoutil.Open(groupKey, p.Nonce, p.Ciphertext, []byte(groupName))
+}

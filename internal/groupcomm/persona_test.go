@@ -1,0 +1,146 @@
+package groupcomm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cryptoutil"
+)
+
+func personaSetup(t *testing.T) (*rand.Rand, *AccessGroup, map[UserID]*cryptoutil.DHKeyPair) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	ownerDH, err := cryptoutil.GenerateDHKeyPair(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewAccessGroup(rng, "friends", ownerDH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := map[UserID]*cryptoutil.DHKeyPair{}
+	for _, u := range []UserID{"bob", "carol"} {
+		kp, err := cryptoutil.GenerateDHKeyPair(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[u] = kp
+		if err := g.AddMember(u, kp.Public); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rng, g, members
+}
+
+func TestPersonaMemberReadsPrivatePost(t *testing.T) {
+	rng, g, members := personaSetup(t)
+	post, err := g.EncryptPost(rng, []byte("friends only: party saturday"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, ok := g.WrappedKeyFor("bob")
+	if !ok {
+		t.Fatal("no wrapped key for member")
+	}
+	key, err := UnwrapGroupKey(members["bob"], g.OwnerPub(), g.Name, g.Generation(), wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := DecryptPost(key, g.Name, post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "friends only: party saturday" {
+		t.Errorf("pt = %q", pt)
+	}
+	if g.Members() != 2 {
+		t.Errorf("members = %d", g.Members())
+	}
+}
+
+func TestPersonaNonMemberCannotRead(t *testing.T) {
+	rng, g, _ := personaSetup(t)
+	post, _ := g.EncryptPost(rng, []byte("secret"))
+	mallory, _ := cryptoutil.GenerateDHKeyPair(rng)
+	// Mallory grabs bob's wrapped key from the wire but has her own DH key.
+	wrapped, _ := g.WrappedKeyFor("bob")
+	if _, err := UnwrapGroupKey(mallory, g.OwnerPub(), g.Name, g.Generation(), wrapped); err == nil {
+		t.Fatal("non-member unwrapped the group key")
+	}
+	// Guessing a key fails to decrypt.
+	junk := make([]byte, 32)
+	if _, err := DecryptPost(junk, g.Name, post); err == nil {
+		t.Fatal("junk key decrypted the post")
+	}
+	if _, err := DecryptPost(junk, g.Name, nil); err == nil {
+		t.Fatal("nil post accepted")
+	}
+}
+
+func TestPersonaRevocationRotatesKey(t *testing.T) {
+	rng, g, members := personaSetup(t)
+	// Bob reads generation-1 content.
+	oldPost, _ := g.EncryptPost(rng, []byte("old news"))
+	oldWrapped, _ := g.WrappedKeyFor("bob")
+	oldGen := g.Generation()
+	oldKey, err := UnwrapGroupKey(members["bob"], g.OwnerPub(), g.Name, oldGen, oldWrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob is removed: key rotates, carol gets re-wrapped, bob does not.
+	if err := g.Remove(rng, "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Generation() != oldGen+1 || g.Members() != 1 {
+		t.Fatalf("generation=%d members=%d", g.Generation(), g.Members())
+	}
+	if _, ok := g.WrappedKeyFor("bob"); ok {
+		t.Fatal("revoked member still has a wrapped key")
+	}
+	newPost, _ := g.EncryptPost(rng, []byte("bob-free zone"))
+
+	// Bob's old key cannot open new posts.
+	if _, err := DecryptPost(oldKey, g.Name, newPost); err == nil {
+		t.Fatal("revoked member read a post-revocation post")
+	}
+	// The documented caveat: old content stays readable with the old key.
+	if pt, err := DecryptPost(oldKey, g.Name, oldPost); err != nil || string(pt) != "old news" {
+		t.Fatalf("old-generation read: %v %q", err, pt)
+	}
+	// Carol reads the new generation fine.
+	carolWrapped, _ := g.WrappedKeyFor("carol")
+	carolKey, err := UnwrapGroupKey(members["carol"], g.OwnerPub(), g.Name, g.Generation(), carolWrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt, err := DecryptPost(carolKey, g.Name, newPost); err != nil || string(pt) != "bob-free zone" {
+		t.Fatalf("surviving member read: %v %q", err, pt)
+	}
+	// Removing a non-member errors.
+	if err := g.Remove(rng, "nobody"); err == nil {
+		t.Fatal("removing non-member succeeded")
+	}
+}
+
+func TestPersonaDistinctGroupsDistinctKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	ownerDH, _ := cryptoutil.GenerateDHKeyPair(rng)
+	friends, _ := NewAccessGroup(rng, "friends", ownerDH)
+	family, _ := NewAccessGroup(rng, "family", ownerDH)
+	memberDH, _ := cryptoutil.GenerateDHKeyPair(rng)
+	friends.AddMember("bob", memberDH.Public)
+	family.AddMember("bob", memberDH.Public)
+
+	post, _ := friends.EncryptPost(rng, []byte("friends message"))
+	famWrapped, _ := family.WrappedKeyFor("bob")
+	famKey, err := UnwrapGroupKey(memberDH, family.OwnerPub(), "family", family.Generation(), famWrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A family key must not open friends content (AD binds group name and
+	// keys differ).
+	if _, err := DecryptPost(famKey, "friends", post); err == nil {
+		t.Fatal("cross-group decryption succeeded")
+	}
+}

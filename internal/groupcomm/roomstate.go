@@ -1,0 +1,256 @@
+package groupcomm
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/gossip"
+	"repro/internal/simnet"
+)
+
+// Matrix-style replicated room state. §3.2: "every application built on
+// Matrix can define its own abuse moderation policies and implement them
+// on the application level." Rooms are event logs replicated across
+// participating servers; membership, power levels, redactions, and
+// messages are all events, and every server derives the same room state
+// from the same event set by deterministic resolution (sort by timestamp,
+// then event ID) — so moderation decisions replicate exactly like content.
+
+// Room event types.
+const (
+	EvCreate  = "m.create"  // fixes the creator; first event of the room
+	EvMember  = "m.member"  // Target joins/leaves/banned (Membership)
+	EvPower   = "m.power"   // set Target's power level
+	EvMessage = "m.message" // ordinary message (Body)
+	EvRedact  = "m.redact"  // strike an earlier event (Redacts)
+)
+
+// Membership values.
+const (
+	MemberJoin  = "join"
+	MemberLeave = "leave"
+	MemberBan   = "ban"
+)
+
+// RoomEvent is one entry in a room's replicated log.
+type RoomEvent struct {
+	ID         cryptoutil.Hash
+	Room       string
+	Type       string
+	Sender     UserID
+	Target     UserID
+	Membership string
+	Power      int
+	Body       []byte
+	Redacts    cryptoutil.Hash
+	Time       time.Duration
+}
+
+// NewRoomEvent builds an event with a content-derived ID.
+func NewRoomEvent(room, typ string, sender UserID, mutate func(*RoomEvent), now time.Duration) RoomEvent {
+	ev := RoomEvent{Room: room, Type: typ, Sender: sender, Time: now}
+	if mutate != nil {
+		mutate(&ev)
+	}
+	var ts [8]byte
+	for i := 0; i < 8; i++ {
+		ts[i] = byte(uint64(now) >> (8 * i))
+	}
+	ev.ID = cryptoutil.SumHashes([]byte(room), []byte(typ), []byte(sender), []byte(ev.Target),
+		[]byte(ev.Membership), ev.Body, ev.Redacts[:], ts[:], []byte{byte(ev.Power)})
+	return ev
+}
+
+// WireSize returns the simulated size in bytes.
+func (ev RoomEvent) WireSize() int {
+	return 96 + len(ev.Room) + len(ev.Sender) + len(ev.Target) + len(ev.Body)
+}
+
+// RoomState is the deterministic fold of a room's events.
+type RoomState struct {
+	Creator  UserID
+	Members  map[UserID]string // user -> join/leave/ban
+	Power    map[UserID]int
+	Redacted map[cryptoutil.Hash]bool
+	// Rejected counts events that violated the room's rules.
+	Rejected int
+}
+
+// powerOf returns a user's power (creator defaults to 100, members to 0).
+func (st *RoomState) powerOf(u UserID) int {
+	if p, ok := st.Power[u]; ok {
+		return p
+	}
+	if u == st.Creator {
+		return 100
+	}
+	return 0
+}
+
+// Joined reports whether u is currently a joined member.
+func (st *RoomState) Joined(u UserID) bool { return st.Members[u] == MemberJoin }
+
+// modPower is the power level required to ban, set power, or redact
+// others' events (Matrix's default moderator level).
+const modPower = 50
+
+// ComputeRoomState folds events (any order) into room state. Resolution is
+// deterministic: events sort by (Time, ID) before replay, so every server
+// holding the same event set derives identical state.
+func ComputeRoomState(events []RoomEvent) *RoomState {
+	sorted := append([]RoomEvent{}, events...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Time != sorted[j].Time {
+			return sorted[i].Time < sorted[j].Time
+		}
+		return lessHash32(sorted[i].ID, sorted[j].ID)
+	})
+	st := &RoomState{
+		Members:  map[UserID]string{},
+		Power:    map[UserID]int{},
+		Redacted: map[cryptoutil.Hash]bool{},
+	}
+	for _, ev := range sorted {
+		if !st.apply(ev) {
+			st.Rejected++
+		}
+	}
+	return st
+}
+
+func (st *RoomState) apply(ev RoomEvent) bool {
+	switch ev.Type {
+	case EvCreate:
+		if st.Creator != "" {
+			return false // only the first create counts
+		}
+		st.Creator = ev.Sender
+		st.Members[ev.Sender] = MemberJoin
+		st.Power[ev.Sender] = 100
+		return true
+
+	case EvMember:
+		switch ev.Membership {
+		case MemberJoin:
+			// Public room: anyone not banned may join themselves.
+			if ev.Sender != ev.Target || st.Members[ev.Target] == MemberBan {
+				return false
+			}
+			st.Members[ev.Target] = MemberJoin
+			return true
+		case MemberLeave:
+			if ev.Sender != ev.Target || !st.Joined(ev.Target) {
+				return false
+			}
+			st.Members[ev.Target] = MemberLeave
+			return true
+		case MemberBan:
+			// Moderation: requires mod power and strictly more power than
+			// the target ("define their own rules on abuse").
+			if st.powerOf(ev.Sender) < modPower || st.powerOf(ev.Sender) <= st.powerOf(ev.Target) {
+				return false
+			}
+			st.Members[ev.Target] = MemberBan
+			return true
+		}
+		return false
+
+	case EvPower:
+		// Only strictly more powerful members may set another's level, and
+		// never above their own.
+		if !st.Joined(ev.Sender) || st.powerOf(ev.Sender) < modPower {
+			return false
+		}
+		if ev.Power > st.powerOf(ev.Sender) || st.powerOf(ev.Target) >= st.powerOf(ev.Sender) && ev.Sender != ev.Target {
+			return false
+		}
+		st.Power[ev.Target] = ev.Power
+		return true
+
+	case EvMessage:
+		return st.Joined(ev.Sender)
+
+	case EvRedact:
+		// Moderators may redact anything; authors their own messages —
+		// but author lookup needs the event log, so the fold only enforces
+		// the moderator path; VisibleMessages honours author self-redaction.
+		if st.powerOf(ev.Sender) < modPower {
+			return false
+		}
+		st.Redacted[ev.Redacts] = true
+		return true
+	}
+	return false
+}
+
+func lessHash32(a, b cryptoutil.Hash) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// VisibleMessages returns the room's messages after state resolution:
+// only messages from users who were accepted members, minus redactions,
+// in deterministic order.
+func VisibleMessages(events []RoomEvent) []RoomEvent {
+	st := ComputeRoomState(events)
+	sorted := append([]RoomEvent{}, events...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Time != sorted[j].Time {
+			return sorted[i].Time < sorted[j].Time
+		}
+		return lessHash32(sorted[i].ID, sorted[j].ID)
+	})
+	var out []RoomEvent
+	// Replay memberships alongside to honour join/leave timing.
+	replay := &RoomState{Members: map[UserID]string{}, Power: map[UserID]int{}, Redacted: map[cryptoutil.Hash]bool{}}
+	for _, ev := range sorted {
+		ok := replay.apply(ev)
+		if ev.Type == EvMessage && ok && !st.Redacted[ev.ID] {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ReplRoom binds the room log to a gossip member so every participating
+// server replicates events and derives identical state.
+type ReplRoom struct {
+	room   string
+	member *gossip.Member
+	events []RoomEvent
+}
+
+// NewReplRoom joins a server's gossip member to a room log.
+func NewReplRoom(member *gossip.Member, room string) *ReplRoom {
+	r := &ReplRoom{room: room, member: member}
+	member.OnDeliver(func(it gossip.Item) {
+		if ev, ok := it.Data.(RoomEvent); ok && ev.Room == room {
+			r.events = append(r.events, ev)
+		}
+	})
+	return r
+}
+
+// Emit publishes an event into the replicated log.
+func (r *ReplRoom) Emit(typ string, sender UserID, mutate func(*RoomEvent)) RoomEvent {
+	ev := NewRoomEvent(r.room, typ, sender, mutate, r.member.Node().Network().Now())
+	r.member.Publish(gossip.Item{ID: ev.ID, Data: ev, Size: ev.WireSize()})
+	return ev
+}
+
+// State derives the current room state from replicated events.
+func (r *ReplRoom) State() *RoomState { return ComputeRoomState(r.events) }
+
+// Messages derives the visible message log.
+func (r *ReplRoom) Messages() []RoomEvent { return VisibleMessages(r.events) }
+
+// NumEvents returns how many room events this server has replicated.
+func (r *ReplRoom) NumEvents() int { return len(r.events) }
+
+// Node returns the underlying simnet node (for failure injection).
+func (r *ReplRoom) Node() *simnet.Node { return r.member.Node() }

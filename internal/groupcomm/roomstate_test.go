@@ -1,0 +1,189 @@
+package groupcomm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/gossip"
+	"repro/internal/simnet"
+)
+
+// evBuilder produces room events with increasing timestamps.
+type evBuilder struct {
+	room string
+	t    time.Duration
+}
+
+func (b *evBuilder) next(typ string, sender UserID, mutate func(*RoomEvent)) RoomEvent {
+	b.t += time.Second
+	return NewRoomEvent(b.room, typ, sender, mutate, b.t)
+}
+
+func TestRoomStateBasicFlow(t *testing.T) {
+	b := &evBuilder{room: "r"}
+	events := []RoomEvent{
+		b.next(EvCreate, "alice", nil),
+		b.next(EvMember, "bob", func(e *RoomEvent) { e.Target = "bob"; e.Membership = MemberJoin }),
+		b.next(EvMessage, "bob", func(e *RoomEvent) { e.Body = []byte("hi") }),
+		b.next(EvMessage, "alice", func(e *RoomEvent) { e.Body = []byte("welcome") }),
+	}
+	st := ComputeRoomState(events)
+	if st.Creator != "alice" || !st.Joined("alice") || !st.Joined("bob") {
+		t.Fatalf("state: %+v", st)
+	}
+	if st.powerOf("alice") != 100 || st.powerOf("bob") != 0 {
+		t.Error("power defaults wrong")
+	}
+	msgs := VisibleMessages(events)
+	if len(msgs) != 2 {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+	if st.Rejected != 0 {
+		t.Errorf("rejected = %d", st.Rejected)
+	}
+}
+
+func TestRoomStateOrderIndependent(t *testing.T) {
+	b := &evBuilder{room: "r"}
+	events := []RoomEvent{
+		b.next(EvCreate, "alice", nil),
+		b.next(EvMember, "bob", func(e *RoomEvent) { e.Target = "bob"; e.Membership = MemberJoin }),
+		b.next(EvMessage, "bob", func(e *RoomEvent) { e.Body = []byte("1") }),
+		b.next(EvPower, "alice", func(e *RoomEvent) { e.Target = "bob"; e.Power = 50 }),
+		b.next(EvMember, "bob", func(e *RoomEvent) { e.Target = "carol"; e.Membership = MemberBan }),
+	}
+	want := fmt.Sprintf("%+v", ComputeRoomState(events))
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]RoomEvent{}, events...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := fmt.Sprintf("%+v", ComputeRoomState(shuffled)); got != want {
+			t.Fatalf("state depends on arrival order:\n got %s\nwant %s", got, want)
+		}
+	}
+}
+
+func TestRoomModerationRules(t *testing.T) {
+	b := &evBuilder{room: "r"}
+	events := []RoomEvent{
+		b.next(EvCreate, "alice", nil),
+		b.next(EvMember, "troll", func(e *RoomEvent) { e.Target = "troll"; e.Membership = MemberJoin }),
+		b.next(EvMember, "bob", func(e *RoomEvent) { e.Target = "bob"; e.Membership = MemberJoin }),
+		// Troll (power 0) tries to ban bob: rejected.
+		b.next(EvMember, "troll", func(e *RoomEvent) { e.Target = "bob"; e.Membership = MemberBan }),
+		// Alice promotes bob to moderator.
+		b.next(EvPower, "alice", func(e *RoomEvent) { e.Target = "bob"; e.Power = 50 }),
+		// Bob bans the troll.
+		b.next(EvMember, "bob", func(e *RoomEvent) { e.Target = "troll"; e.Membership = MemberBan }),
+		// Banned troll keeps talking: messages rejected.
+		b.next(EvMessage, "troll", func(e *RoomEvent) { e.Body = []byte("spam") }),
+		// Banned troll cannot rejoin.
+		b.next(EvMember, "troll", func(e *RoomEvent) { e.Target = "troll"; e.Membership = MemberJoin }),
+		// Bob cannot promote himself above his own level.
+		b.next(EvPower, "bob", func(e *RoomEvent) { e.Target = "bob"; e.Power = 100 }),
+		// Bob cannot ban alice (she outranks him).
+		b.next(EvMember, "bob", func(e *RoomEvent) { e.Target = "alice"; e.Membership = MemberBan }),
+	}
+	st := ComputeRoomState(events)
+	if st.Members["troll"] != MemberBan {
+		t.Error("troll not banned")
+	}
+	if !st.Joined("alice") {
+		t.Error("alice banned by subordinate")
+	}
+	if st.powerOf("bob") != 50 {
+		t.Errorf("bob power = %d", st.powerOf("bob"))
+	}
+	if st.Rejected != 5 {
+		t.Errorf("rejected = %d, want 5", st.Rejected)
+	}
+	if msgs := VisibleMessages(events); len(msgs) != 0 {
+		t.Errorf("troll messages visible: %d", len(msgs))
+	}
+}
+
+func TestRoomRedaction(t *testing.T) {
+	b := &evBuilder{room: "r"}
+	create := b.next(EvCreate, "alice", nil)
+	join := b.next(EvMember, "bob", func(e *RoomEvent) { e.Target = "bob"; e.Membership = MemberJoin })
+	bad := b.next(EvMessage, "bob", func(e *RoomEvent) { e.Body = []byte("regrettable") })
+	fine := b.next(EvMessage, "bob", func(e *RoomEvent) { e.Body = []byte("fine") })
+	redact := b.next(EvRedact, "alice", func(e *RoomEvent) { e.Redacts = bad.ID })
+	// A powerless member cannot redact.
+	evil := b.next(EvRedact, "bob", func(e *RoomEvent) { e.Redacts = fine.ID })
+
+	events := []RoomEvent{create, join, bad, fine, redact, evil}
+	msgs := VisibleMessages(events)
+	if len(msgs) != 1 || string(msgs[0].Body) != "fine" {
+		t.Fatalf("visible = %d", len(msgs))
+	}
+	if st := ComputeRoomState(events); st.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1 (bob's redaction)", st.Rejected)
+	}
+}
+
+func TestRoomDuplicateCreateIgnored(t *testing.T) {
+	b := &evBuilder{room: "r"}
+	events := []RoomEvent{
+		b.next(EvCreate, "alice", nil),
+		b.next(EvCreate, "mallory", nil),
+	}
+	st := ComputeRoomState(events)
+	if st.Creator != "alice" {
+		t.Error("creator hijacked")
+	}
+	if st.Rejected != 1 {
+		t.Errorf("rejected = %d", st.Rejected)
+	}
+}
+
+// TestReplRoomConvergesAcrossServers feeds a room through three gossiping
+// servers — including one that is down during the action — and checks
+// every replica derives identical state after anti-entropy repair.
+func TestReplRoomConvergesAcrossServers(t *testing.T) {
+	nw := simnet.New(31)
+	rooms := make([]*ReplRoom, 3)
+	ids := make([]simnet.NodeID, 3)
+	members := make([]*gossip.Member, 3)
+	for i := range rooms {
+		members[i] = gossip.NewMember(nw.AddNode(), gossip.Config{Fanout: 2, AntiEntropyInterval: 10 * time.Second})
+		ids[i] = members[i].Node().ID()
+		rooms[i] = NewReplRoom(members[i], "lobby")
+	}
+	for i, m := range members {
+		var peers []simnet.NodeID
+		for j, id := range ids {
+			if j != i {
+				peers = append(peers, id)
+			}
+		}
+		m.SetPeers(peers)
+	}
+
+	rooms[2].Node().Crash() // one server misses the action live
+	rooms[0].Emit(EvCreate, "alice", nil)
+	nw.Run(nw.Now() + time.Second)
+	rooms[0].Emit(EvMember, "bob", func(e *RoomEvent) { e.Target = "bob"; e.Membership = MemberJoin })
+	nw.Run(nw.Now() + time.Second)
+	rooms[1].Emit(EvMessage, "bob", func(e *RoomEvent) { e.Body = []byte("via server 1") })
+	nw.Run(nw.Now() + time.Second)
+	rooms[0].Emit(EvPower, "alice", func(e *RoomEvent) { e.Target = "bob"; e.Power = 50 })
+	nw.Run(nw.Now() + time.Minute)
+	rooms[2].Node().Restart()
+	nw.Run(nw.Now() + 5*time.Minute) // anti-entropy catches the third server up
+
+	want := fmt.Sprintf("%+v", rooms[0].State())
+	for i, r := range rooms {
+		if r.NumEvents() != 4 {
+			t.Errorf("server %d has %d events", i, r.NumEvents())
+		}
+		if got := fmt.Sprintf("%+v", r.State()); got != want {
+			t.Errorf("server %d state diverged:\n got %s\nwant %s", i, got, want)
+		}
+		if msgs := r.Messages(); len(msgs) != 1 {
+			t.Errorf("server %d messages = %d", i, len(msgs))
+		}
+	}
+}

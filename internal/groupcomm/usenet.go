@@ -1,0 +1,100 @@
+package groupcomm
+
+import (
+	"repro/internal/cryptoutil"
+	"repro/internal/simnet"
+)
+
+// UsenetServer models the §3.2 historical baseline: "Usenet, one of the
+// oldest messaging platforms on the Internet, offered a decentralized
+// (federated), distributed online forum … Usenet eventually collapsed
+// under its own traffic load." The defining property is full flooding:
+// every article posted anywhere is relayed to and stored by every server,
+// so each operator's storage and transit cost scales with *global* volume
+// rather than local interest. Experiment X8 measures exactly that growth
+// against the follower-scoped federated-home model.
+type UsenetServer struct {
+	node     *simnet.Node
+	name     string
+	peers    []simnet.NodeID
+	articles map[cryptoutil.Hash]Post
+	// BytesStored accumulates the payload bytes this server retains.
+	BytesStored int64
+	// BytesRelayed accumulates the payload bytes this server forwarded.
+	BytesRelayed int64
+}
+
+const msgUsenetArticle = "gc.usenet.article"
+
+// NewUsenetServer starts a news server on node.
+func NewUsenetServer(node *simnet.Node, name string) *UsenetServer {
+	s := &UsenetServer{
+		node:     node,
+		name:     name,
+		articles: map[cryptoutil.Hash]Post{},
+	}
+	node.Handle(msgUsenetArticle, s.onArticle)
+	return s
+}
+
+// Name returns the server name.
+func (s *UsenetServer) Name() string { return s.name }
+
+// Node returns the underlying simnet node.
+func (s *UsenetServer) Node() *simnet.Node { return s.node }
+
+// SetPeers wires the NNTP feed topology (typically a dense mesh).
+func (s *UsenetServer) SetPeers(peers []simnet.NodeID) { s.peers = peers }
+
+// NumArticles returns how many articles this server carries.
+func (s *UsenetServer) NumArticles() int { return len(s.articles) }
+
+// Has reports whether an article is present.
+func (s *UsenetServer) Has(id cryptoutil.Hash) bool { _, ok := s.articles[id]; return ok }
+
+// PostLocal accepts an article from a locally connected user and floods it
+// to every peer.
+func (s *UsenetServer) PostLocal(group string, author UserID, body []byte) Post {
+	p := NewPost(group, author, body, s.node.Network().Now())
+	s.accept(p, -1)
+	return p
+}
+
+// accept stores a new article and relays it everywhere except where it
+// came from.
+func (s *UsenetServer) accept(p Post, from simnet.NodeID) bool {
+	if _, ok := s.articles[p.ID]; ok {
+		return false
+	}
+	s.articles[p.ID] = p
+	s.BytesStored += int64(p.WireSize())
+	for _, peer := range s.peers {
+		if peer == from || peer == s.node.ID() {
+			continue
+		}
+		if s.node.Send(peer, msgUsenetArticle, p, p.WireSize()) {
+			s.BytesRelayed += int64(p.WireSize())
+		}
+	}
+	return true
+}
+
+func (s *UsenetServer) onArticle(msg simnet.Message) {
+	p, ok := msg.Payload.(Post)
+	if !ok {
+		return
+	}
+	s.accept(p, msg.From)
+}
+
+// Group returns the stored articles of one newsgroup, any-server read —
+// the upside of full replication.
+func (s *UsenetServer) Group(group string) []Post {
+	var out []Post
+	for _, p := range s.articles {
+		if p.Room == group {
+			out = append(out, p)
+		}
+	}
+	return out
+}

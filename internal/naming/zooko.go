@@ -1,0 +1,58 @@
+package naming
+
+// Zooko's triangle (§3.1): a naming scheme would like names that are
+// simultaneously human-meaningful, secure (the binding cannot be forged),
+// and decentralized (no single authority controls the namespace).
+// Pre-blockchain schemes achieve at most two; "these blockchain-based
+// naming schemes manage to resolve Zooko's Triangle by providing,
+// simultaneously, human-meaningful, secure, and decentralized names."
+
+// TriangleScore is a scheme's position on Zooko's triangle.
+type TriangleScore struct {
+	Scheme          string
+	HumanMeaningful bool
+	Secure          bool
+	Decentralized   bool
+	// Caveat summarizes the price paid or weakness retained.
+	Caveat string
+}
+
+// All reports whether the scheme achieves all three corners.
+func (s TriangleScore) All() bool { return s.HumanMeaningful && s.Secure && s.Decentralized }
+
+// TriangleScores returns the assessment of every naming scheme implemented
+// in this repository. Each row is backed by executable behaviour:
+//   - centralized-registrar: CentralizedRegistrar.Seize/Ban demonstrate the
+//     missing decentralization.
+//   - ca-pki: identity.TestCACompromiseForgesTrustedCerts demonstrates
+//     centralized trust.
+//   - web-of-trust: identity.WebOfTrust Sybil amplification demonstrates
+//     the missing security.
+//   - self-certifying: cryptoutil key fingerprints are secure and
+//     decentralized but opaque.
+//   - blockchain: this package's Index achieves all three, paying with
+//     confirmation latency and ledger growth (experiment X1/X2).
+func TriangleScores() []TriangleScore {
+	return []TriangleScore{
+		{
+			Scheme: "centralized-registrar", HumanMeaningful: true, Secure: true, Decentralized: false,
+			Caveat: "operator can seize, censor, or lose every name",
+		},
+		{
+			Scheme: "ca-pki", HumanMeaningful: true, Secure: true, Decentralized: false,
+			Caveat: "CA compromise forges any binding; revocation depends on CRL freshness",
+		},
+		{
+			Scheme: "web-of-trust", HumanMeaningful: true, Secure: false, Decentralized: true,
+			Caveat: "Sybil rings amplify one careless endorsement into full trust",
+		},
+		{
+			Scheme: "self-certifying-key", HumanMeaningful: false, Secure: true, Decentralized: true,
+			Caveat: "names are opaque fingerprints; unusable by humans",
+		},
+		{
+			Scheme: "blockchain", HumanMeaningful: true, Secure: true, Decentralized: true,
+			Caveat: "pays with confirmation latency, ledger growth, and 51% exposure",
+		},
+	}
+}

@@ -1,0 +1,169 @@
+package simnet
+
+import "time"
+
+// Node is one simulated host. All methods must be called from within the
+// simulation goroutine (i.e. from handlers or scheduled functions, or
+// before Run starts).
+type Node struct {
+	id      NodeID
+	nw      *Network
+	profile LinkProfile
+	up      bool
+
+	uplinkFree   time.Duration
+	downlinkFree time.Duration
+
+	handlers       map[string]Handler
+	defaultHandler Handler
+	// rpc is the node's shared request/response layer, created lazily by
+	// NewRPCNode.
+	rpc *RPCNode
+
+	// onUp/onDown observers, used by protocol layers to re-join or
+	// re-announce after a restart.
+	onUp   []func()
+	onDown []func()
+
+	crashes  int
+	downtime time.Duration
+	downAt   time.Duration
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Network returns the network this node belongs to.
+func (n *Node) Network() *Network { return n.nw }
+
+// Profile returns the node's link profile.
+func (n *Node) Profile() LinkProfile { return n.profile }
+
+// SetProfile replaces the node's link profile (takes effect for messages
+// sent or received after the call).
+func (n *Node) SetProfile(p LinkProfile) { n.profile = p }
+
+// Up reports whether the node is currently alive.
+func (n *Node) Up() bool { return n.up }
+
+// Handle registers a handler for messages of the given kind, replacing any
+// existing one.
+func (n *Node) Handle(kind string, h Handler) { n.handlers[kind] = h }
+
+// HandleDefault registers a catch-all handler for kinds with no specific
+// handler.
+func (n *Node) HandleDefault(h Handler) { n.defaultHandler = h }
+
+// Send transmits a message from this node.
+func (n *Node) Send(to NodeID, kind string, payload any, size int) bool {
+	return n.nw.Send(Message{From: n.id, To: to, Kind: kind, Payload: payload, Size: size})
+}
+
+// Crash takes the node down: in-flight messages to it will be dropped at
+// delivery time and new sends to or from it fail until Restart.
+func (n *Node) Crash() {
+	if !n.up {
+		return
+	}
+	n.up = false
+	n.crashes++
+	n.downAt = n.nw.now
+	for _, f := range n.onDown {
+		f()
+	}
+}
+
+// Restart brings a crashed node back up and fires the registered OnUp
+// observers (protocol layers use these to rejoin rings, re-announce
+// content, etc.).
+func (n *Node) Restart() {
+	if n.up {
+		return
+	}
+	n.up = true
+	n.downtime += n.nw.now - n.downAt
+	for _, f := range n.onUp {
+		f()
+	}
+}
+
+// OnUp registers an observer called every time the node restarts.
+func (n *Node) OnUp(f func()) { n.onUp = append(n.onUp, f) }
+
+// OnDown registers an observer called every time the node crashes.
+func (n *Node) OnDown(f func()) { n.onDown = append(n.onDown, f) }
+
+// Crashes returns how many times the node has crashed.
+func (n *Node) Crashes() int { return n.crashes }
+
+// Downtime returns the cumulative time the node has spent down (not
+// counting an in-progress outage).
+func (n *Node) Downtime() time.Duration { return n.downtime }
+
+// Availability returns the fraction of elapsed virtual time the node has
+// been up, in [0, 1]. Returns 1 when no time has elapsed.
+func (n *Node) Availability() float64 {
+	elapsed := n.nw.now
+	if elapsed == 0 {
+		return 1
+	}
+	down := n.downtime
+	if !n.up {
+		down += n.nw.now - n.downAt
+	}
+	return 1 - float64(down)/float64(elapsed)
+}
+
+// Churn drives a node through an alternating up/down renewal process with
+// exponentially distributed time-to-failure and time-to-repair. It models
+// the paper's §5.2 point that user-device infrastructure has "intermittency
+// [and] higher failure rates" than datacenters.
+type Churn struct {
+	// MTTF is the mean time between a restart and the next crash.
+	MTTF time.Duration
+	// MTTR is the mean outage length.
+	MTTR time.Duration
+}
+
+// Apply starts the churn process on node n. The first failure is scheduled
+// an exponential draw from now. Passing a zero MTTF disables churn.
+func (c Churn) Apply(n *Node) {
+	if c.MTTF <= 0 {
+		return
+	}
+	nw := n.nw
+	var scheduleFail func()
+	var scheduleRepair func()
+	scheduleFail = func() {
+		d := expDraw(nw, c.MTTF)
+		nw.After(d, func() {
+			if !n.up {
+				return // already down (e.g. manual crash); wait for restart path
+			}
+			n.Crash()
+			scheduleRepair()
+		})
+	}
+	scheduleRepair = func() {
+		d := expDraw(nw, c.MTTR)
+		nw.After(d, func() {
+			if n.up {
+				return
+			}
+			n.Restart()
+			scheduleFail()
+		})
+	}
+	scheduleFail()
+}
+
+func expDraw(nw *Network, mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	d := time.Duration(nw.rng.ExpFloat64() * float64(mean))
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	return d
+}

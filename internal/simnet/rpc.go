@@ -1,0 +1,151 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// RPC layers a request/response discipline over raw messages. A node that
+// serves RPCs registers a Server handler per method; a caller uses Call and
+// receives either the response payload or a timeout. Request and response
+// each traverse the network as ordinary messages, so they inherit latency,
+// bandwidth, loss, crash, and partition behaviour.
+
+// rpcEnvelope wraps a request or response on the wire.
+type rpcEnvelope struct {
+	id      uint64
+	method  string
+	payload any
+	isReply bool
+	ok      bool // server found a handler and produced a reply
+}
+
+const rpcKind = "simnet.rpc"
+
+// RPCNode augments a Node with request/response plumbing. Create one per
+// node that participates in RPC traffic.
+type RPCNode struct {
+	n            *Node
+	nextID       uint64
+	pending      map[uint64]*pendingCall
+	servers      map[string]RPCHandler
+	asyncServers map[string]RPCAsyncHandler
+}
+
+type pendingCall struct {
+	done     func(resp any, err error)
+	finished bool
+}
+
+// RPCHandler serves one method: it receives the caller's node ID and request
+// payload and returns the response payload and its simulated size in bytes.
+type RPCHandler func(from NodeID, req any) (resp any, respSize int)
+
+// RPCAsyncHandler serves one method whose reply depends on further network
+// activity (e.g. a nested RPC to another node). The handler must invoke
+// reply exactly once, possibly from a later event; the reply then travels
+// back to the caller as usual, inheriting all accrued virtual time.
+type RPCAsyncHandler func(from NodeID, req any, reply func(resp any, respSize int))
+
+// NewRPCNode wires RPC handling onto n. Multiple protocol layers on the
+// same node share one RPCNode: repeated calls return the existing
+// instance, so each layer can register its own methods without clobbering
+// the others' transport.
+func NewRPCNode(n *Node) *RPCNode {
+	if n.rpc != nil {
+		return n.rpc
+	}
+	r := &RPCNode{
+		n:            n,
+		pending:      map[uint64]*pendingCall{},
+		servers:      map[string]RPCHandler{},
+		asyncServers: map[string]RPCAsyncHandler{},
+	}
+	n.rpc = r
+	n.Handle(rpcKind, r.onMessage)
+	// A crash fails all outstanding calls: the caller's state is lost.
+	n.OnDown(func() {
+		for id, pc := range r.pending {
+			delete(r.pending, id)
+			if !pc.finished {
+				pc.finished = true
+				pc.done(nil, fmt.Errorf("simnet: node %d crashed with call in flight", n.ID()))
+			}
+		}
+	})
+	return r
+}
+
+// Node returns the underlying simulated node.
+func (r *RPCNode) Node() *Node { return r.n }
+
+// Serve registers the handler for method.
+func (r *RPCNode) Serve(method string, h RPCHandler) { r.servers[method] = h }
+
+// ServeAsync registers an asynchronous handler for method; it takes
+// precedence over a synchronous handler of the same name.
+func (r *RPCNode) ServeAsync(method string, h RPCAsyncHandler) { r.asyncServers[method] = h }
+
+// Call issues an asynchronous request to the target's method. done is
+// invoked exactly once: with the response payload on success, or with a
+// non-nil error on timeout, crash, or if the callee does not serve the
+// method.
+func (r *RPCNode) Call(to NodeID, method string, req any, reqSize int, timeout time.Duration, done func(resp any, err error)) {
+	r.nextID++
+	id := r.nextID
+	pc := &pendingCall{done: done}
+	r.pending[id] = pc
+	r.n.Send(to, rpcKind, &rpcEnvelope{id: id, method: method, payload: req}, reqSize+64)
+	r.n.nw.After(timeout, func() {
+		if pc.finished {
+			return
+		}
+		pc.finished = true
+		delete(r.pending, id)
+		done(nil, fmt.Errorf("simnet: call %s to node %d timed out after %v", method, to, timeout))
+	})
+}
+
+func (r *RPCNode) onMessage(msg Message) {
+	env, ok := msg.Payload.(*rpcEnvelope)
+	if !ok {
+		return
+	}
+	if env.isReply {
+		pc, ok := r.pending[env.id]
+		if !ok || pc.finished {
+			return // late reply after timeout; drop
+		}
+		pc.finished = true
+		delete(r.pending, env.id)
+		if !env.ok {
+			pc.done(nil, fmt.Errorf("simnet: node %d does not serve %s", msg.From, env.method))
+			return
+		}
+		pc.done(env.payload, nil)
+		return
+	}
+	// Incoming request.
+	if ah, served := r.asyncServers[env.method]; served {
+		replied := false
+		ah(msg.From, env.payload, func(resp any, respSize int) {
+			if replied {
+				panic("simnet: async RPC handler replied twice")
+			}
+			replied = true
+			reply := &rpcEnvelope{id: env.id, method: env.method, isReply: true, payload: resp, ok: true}
+			r.n.Send(msg.From, rpcKind, reply, respSize+64)
+		})
+		return
+	}
+	h, served := r.servers[env.method]
+	reply := &rpcEnvelope{id: env.id, method: env.method, isReply: true}
+	respSize := 0
+	if served {
+		var resp any
+		resp, respSize = h(msg.From, env.payload)
+		reply.payload = resp
+		reply.ok = true
+	}
+	r.n.Send(msg.From, rpcKind, reply, respSize+64)
+}

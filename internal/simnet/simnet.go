@@ -1,0 +1,338 @@
+// Package simnet is a deterministic discrete-event network simulator. It is
+// the substrate every distributed system in this repository runs on: the
+// blockchain miners, the Kademlia DHT, the federated and P2P group
+// communication models, the storage network, and the hostless web layer.
+//
+// The paper this repository reproduces argues about *structural* properties
+// of systems — replication, single points of failure, trust topology,
+// device-grade versus datacenter-grade infrastructure (§4 "quality vs
+// quantity") — so the simulator models exactly those knobs:
+//
+//   - per-link propagation latency with seeded jitter,
+//   - per-node uplink/downlink bandwidth with serialization queueing
+//     (a 1 Mbps home uplink behaves very differently from a datacenter NIC),
+//   - message loss,
+//   - node up/down state, crash/restart, and exponential churn processes,
+//   - network partitions.
+//
+// Everything runs on one goroutine from a single seeded RNG, so a run is
+// reproducible bit-for-bit given the same seed and workload.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// NodeID identifies a node within one Network.
+type NodeID int
+
+// Message is a simulated datagram. Payload is an arbitrary value passed by
+// reference (the simulator never copies or serializes it); Size is the
+// simulated wire size in bytes and is what bandwidth modelling charges for.
+type Message struct {
+	From, To NodeID
+	Kind     string
+	Payload  any
+	Size     int
+}
+
+// Handler processes a delivered message on the receiving node.
+type Handler func(msg Message)
+
+// event is one scheduled occurrence in the simulation.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break so equal-time events run FIFO and deterministically
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q eventQueue) Peek() *event  { return q[0] }
+
+// LinkProfile describes the network attachment of a node (or the default
+// for the whole network). The zero value is replaced by DatacenterProfile.
+type LinkProfile struct {
+	// Latency is the one-way propagation delay added to every message the
+	// node sends. The effective delay between two nodes is the sum of both
+	// endpoints' latencies (a crude but monotone RTT model).
+	Latency time.Duration
+	// Jitter adds a uniform random [0, Jitter) to each message.
+	Jitter time.Duration
+	// UplinkBps and DownlinkBps are the serialization rates in bits/sec.
+	// Zero means infinite (no serialization delay).
+	UplinkBps   float64
+	DownlinkBps float64
+	// Loss is the independent drop probability per message in [0, 1).
+	Loss float64
+}
+
+// DatacenterProfile approximates an intra/inter-datacenter attachment: low
+// latency, 10 Gbps symmetric, lossless.
+func DatacenterProfile() LinkProfile {
+	return LinkProfile{Latency: 1 * time.Millisecond, Jitter: 500 * time.Microsecond, UplinkBps: 10e9, DownlinkBps: 10e9}
+}
+
+// HomeBroadbandProfile approximates the paper's §4 "slow broadband"
+// user-device attachment: 25 ms latency, 20 Mbps down / 1 Mbps up, 0.5 %
+// loss.
+func HomeBroadbandProfile() LinkProfile {
+	return LinkProfile{Latency: 25 * time.Millisecond, Jitter: 10 * time.Millisecond, UplinkBps: 1e6, DownlinkBps: 20e6, Loss: 0.005}
+}
+
+// MobileProfile approximates the paper's "slow 3G" mobile attachment:
+// 80 ms latency, 4 Mbps down / 1 Mbps up, 2 % loss.
+func MobileProfile() LinkProfile {
+	return LinkProfile{Latency: 80 * time.Millisecond, Jitter: 40 * time.Millisecond, UplinkBps: 1e6, DownlinkBps: 4e6, Loss: 0.02}
+}
+
+// Network is a simulated network of nodes sharing one virtual clock.
+type Network struct {
+	rng     *rand.Rand
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	nodes   []*Node
+	defProf LinkProfile
+	// partition maps node -> group id; nodes in different groups cannot
+	// exchange messages. Empty map means no partition.
+	partition map[NodeID]int
+	trace     Trace
+	running   bool
+}
+
+// New creates a network whose randomness derives entirely from seed.
+// Nodes added later default to DatacenterProfile.
+func New(seed int64) *Network {
+	return &Network{
+		rng:       rand.New(rand.NewSource(seed)),
+		defProf:   DatacenterProfile(),
+		partition: map[NodeID]int{},
+	}
+}
+
+// SetDefaultProfile changes the link profile assigned to nodes added after
+// this call.
+func (nw *Network) SetDefaultProfile(p LinkProfile) { nw.defProf = p }
+
+// Rand exposes the simulation RNG so protocols draw from the same seeded
+// stream and stay deterministic.
+func (nw *Network) Rand() *rand.Rand { return nw.rng }
+
+// Now returns the current virtual time.
+func (nw *Network) Now() time.Duration { return nw.now }
+
+// Trace returns the accumulated traffic counters.
+func (nw *Network) Trace() *Trace { return &nw.trace }
+
+// AddNode creates a node with the current default link profile.
+func (nw *Network) AddNode() *Node {
+	return nw.AddNodeWithProfile(nw.defProf)
+}
+
+// AddNodeWithProfile creates a node with an explicit link profile.
+func (nw *Network) AddNodeWithProfile(p LinkProfile) *Node {
+	n := &Node{
+		id:       NodeID(len(nw.nodes)),
+		nw:       nw,
+		profile:  p,
+		up:       true,
+		handlers: map[string]Handler{},
+	}
+	nw.nodes = append(nw.nodes, n)
+	return n
+}
+
+// Node returns the node with the given id, or nil if out of range.
+func (nw *Network) Node(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(nw.nodes) {
+		return nil
+	}
+	return nw.nodes[id]
+}
+
+// NumNodes returns how many nodes have been added.
+func (nw *Network) NumNodes() int { return len(nw.nodes) }
+
+// Nodes returns the live slice of all nodes (do not mutate).
+func (nw *Network) Nodes() []*Node { return nw.nodes }
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past
+// (before Now) runs the function at the current time, preserving order.
+func (nw *Network) Schedule(at time.Duration, fn func()) {
+	if at < nw.now {
+		at = nw.now
+	}
+	nw.seq++
+	heap.Push(&nw.queue, &event{at: at, seq: nw.seq, fn: fn})
+}
+
+// After runs fn after delay d of virtual time.
+func (nw *Network) After(d time.Duration, fn func()) { nw.Schedule(nw.now+d, fn) }
+
+// Run executes events until the queue empties or virtual time reaches
+// until. It returns the virtual time at which it stopped.
+func (nw *Network) Run(until time.Duration) time.Duration {
+	if nw.running {
+		panic("simnet: re-entrant Run")
+	}
+	nw.running = true
+	defer func() { nw.running = false }()
+	for len(nw.queue) > 0 {
+		e := nw.queue.Peek()
+		if e.at > until {
+			nw.now = until
+			return nw.now
+		}
+		heap.Pop(&nw.queue)
+		nw.now = e.at
+		e.fn()
+	}
+	if nw.now < until {
+		nw.now = until
+	}
+	return nw.now
+}
+
+// RunAll executes every queued event regardless of time. Useful for tests;
+// panics if the queue keeps growing beyond a large safety bound.
+func (nw *Network) RunAll() {
+	const maxEvents = 50_000_000
+	count := 0
+	for len(nw.queue) > 0 {
+		e := heap.Pop(&nw.queue).(*event)
+		nw.now = e.at
+		e.fn()
+		if count++; count > maxEvents {
+			panic("simnet: RunAll exceeded event safety bound; runaway schedule?")
+		}
+	}
+}
+
+// Partition splits the network into groups; messages only flow within a
+// group. Nodes not listed fall into group 0 alongside the first group.
+func (nw *Network) Partition(groups ...[]NodeID) {
+	nw.partition = map[NodeID]int{}
+	for gi, g := range groups {
+		for _, id := range g {
+			nw.partition[id] = gi
+		}
+	}
+}
+
+// Heal removes any partition.
+func (nw *Network) Heal() { nw.partition = map[NodeID]int{} }
+
+func (nw *Network) samePartition(a, b NodeID) bool {
+	if len(nw.partition) == 0 {
+		return true
+	}
+	return nw.partition[a] == nw.partition[b]
+}
+
+// Send transmits a message. Delivery is scheduled according to both
+// endpoints' link profiles; the message is silently dropped (and counted in
+// the trace) if either endpoint is down, the endpoints are partitioned, or
+// the loss draw fires. Send reports whether delivery was scheduled.
+func (nw *Network) Send(msg Message) bool {
+	nw.trace.Sent++
+	nw.trace.BytesSent += int64(msg.Size)
+	src := nw.Node(msg.From)
+	dst := nw.Node(msg.To)
+	if src == nil || dst == nil {
+		panic(fmt.Sprintf("simnet: send between unknown nodes %d -> %d", msg.From, msg.To))
+	}
+	if !src.up || !dst.up || !nw.samePartition(msg.From, msg.To) {
+		nw.trace.Dropped++
+		return false
+	}
+	if p := src.profile.Loss + dst.profile.Loss; p > 0 && nw.rng.Float64() < p {
+		nw.trace.Dropped++
+		return false
+	}
+
+	// Serialization on the sender's uplink: the message waits for the
+	// uplink to free, then occupies it for size/rate.
+	depart := nw.now
+	if src.profile.UplinkBps > 0 {
+		if src.uplinkFree > depart {
+			depart = src.uplinkFree
+		}
+		ser := secondsToDuration(float64(msg.Size*8) / src.profile.UplinkBps)
+		depart += ser
+		src.uplinkFree = depart
+	}
+	// Propagation + jitter.
+	delay := src.profile.Latency + dst.profile.Latency
+	if j := src.profile.Jitter + dst.profile.Jitter; j > 0 {
+		delay += time.Duration(nw.rng.Int63n(int64(j)))
+	}
+	arrive := depart + delay
+	// Serialization on the receiver's downlink.
+	if dst.profile.DownlinkBps > 0 {
+		if dst.downlinkFree > arrive {
+			arrive = dst.downlinkFree
+		}
+		ser := secondsToDuration(float64(msg.Size*8) / dst.profile.DownlinkBps)
+		arrive += ser
+		dst.downlinkFree = arrive
+	}
+
+	nw.Schedule(arrive, func() {
+		// Re-check state at delivery time: the receiver may have crashed,
+		// or a partition may have appeared, while the message was in
+		// flight.
+		if !dst.up || !nw.samePartition(msg.From, msg.To) {
+			nw.trace.Dropped++
+			return
+		}
+		nw.trace.Delivered++
+		nw.trace.BytesDelivered += int64(msg.Size)
+		if h, ok := dst.handlers[msg.Kind]; ok {
+			h(msg)
+		} else if dst.defaultHandler != nil {
+			dst.defaultHandler(msg)
+		} else {
+			nw.trace.Unhandled++
+		}
+	})
+	return true
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// Trace accumulates network-wide traffic statistics.
+type Trace struct {
+	Sent           int64
+	Delivered      int64
+	Dropped        int64
+	Unhandled      int64
+	BytesSent      int64
+	BytesDelivered int64
+}
+
+// DeliveryRate returns Delivered/Sent, or 0 when nothing was sent.
+func (t *Trace) DeliveryRate() float64 {
+	if t.Sent == 0 {
+		return 0
+	}
+	return float64(t.Delivered) / float64(t.Sent)
+}
+
+// Reset zeroes all counters.
+func (t *Trace) Reset() { *t = Trace{} }

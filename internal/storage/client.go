@@ -1,0 +1,516 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/erasure"
+	"repro/internal/simnet"
+)
+
+// Client is a storage consumer: it uploads objects with a chosen redundancy
+// scheme, downloads with failover, audits holders with proof-of-storage
+// challenges, and repairs lost redundancy.
+type Client struct {
+	rpc     *simnet.RPCNode
+	timeout time.Duration
+}
+
+// NewClient creates a storage client on node. timeout bounds individual
+// transfer RPCs (auditing uses its own deadline).
+func NewClient(node *simnet.Node, timeout time.Duration) *Client {
+	return &Client{rpc: simnet.NewRPCNode(node), timeout: timeout}
+}
+
+// Node returns the client's simnet node.
+func (c *Client) Node() *simnet.Node { return c.rpc.Node() }
+
+// Upload stores data with replication: every chunk goes to `replicas`
+// distinct providers drawn from the given pool. done receives the manifest
+// and placement, or an error if any chunk could not reach the target
+// redundancy.
+func (c *Client) Upload(data []byte, chunkSize int, providers []ProviderRef, replicas int, done func(*Manifest, *Placement, error)) {
+	if replicas <= 0 || len(providers) < replicas {
+		done(nil, nil, fmt.Errorf("storage: need ≥%d providers for %d replicas, have %d", replicas, replicas, len(providers)))
+		return
+	}
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	chunks := SplitChunks(data, chunkSize)
+	m := &Manifest{
+		FileID:    cryptoutil.SumHash(data),
+		Size:      len(data),
+		ChunkSize: chunkSize,
+		Mode:      ModeReplicate,
+		Replicas:  replicas,
+	}
+	for _, ch := range chunks {
+		m.Chunks = append(m.Chunks, ch.ID)
+		m.ChunkRoots = append(m.ChunkRoots, chunkProofRoot(ch.Data))
+	}
+	c.placeChunks(chunks, providers, replicas, func(pl *Placement, err error) {
+		done(m, pl, err)
+	})
+}
+
+// UploadErasure stores data as a (k, k+m) Reed–Solomon shard set, one shard
+// per provider.
+func (c *Client) UploadErasure(data []byte, k, parity int, providers []ProviderRef, done func(*Manifest, *Placement, error)) {
+	code, err := erasure.New(k, parity)
+	if err != nil {
+		done(nil, nil, err)
+		return
+	}
+	if len(providers) < k+parity {
+		done(nil, nil, fmt.Errorf("storage: erasure (%d,%d) needs %d providers, have %d", k, k+parity, k+parity, len(providers)))
+		return
+	}
+	shards, err := code.Encode(code.Split(data))
+	if err != nil {
+		done(nil, nil, err)
+		return
+	}
+	m := &Manifest{
+		FileID:       cryptoutil.SumHash(data),
+		Size:         len(data),
+		Mode:         ModeErasure,
+		DataShards:   k,
+		ParityShards: parity,
+		Replicas:     1,
+	}
+	var chunks []Chunk
+	for _, s := range shards {
+		ch := NewChunk(s)
+		chunks = append(chunks, ch)
+		m.Chunks = append(m.Chunks, ch.ID)
+		m.ChunkRoots = append(m.ChunkRoots, chunkProofRoot(s))
+	}
+	c.placeChunks(chunks, providers, 1, func(pl *Placement, err error) {
+		done(m, pl, err)
+	})
+}
+
+// placeChunks distributes each chunk to `replicas` distinct providers,
+// spreading chunks across the pool round-robin from a random offset.
+func (c *Client) placeChunks(chunks []Chunk, providers []ProviderRef, replicas int, done func(*Placement, error)) {
+	pl := NewPlacement()
+	pending := 0
+	failed := 0
+	finished := false
+	rng := c.rpc.Node().Network().Rand()
+	offset := rng.Intn(len(providers))
+	check := func() {
+		if pending == 0 && !finished {
+			finished = true
+			if failed > 0 {
+				done(pl, fmt.Errorf("storage: %d chunk placements failed", failed))
+				return
+			}
+			done(pl, nil)
+		}
+	}
+	for ci, ch := range chunks {
+		for r := 0; r < replicas; r++ {
+			target := providers[(offset+ci*replicas+r)%len(providers)]
+			pending++
+			ch := ch
+			c.rpc.Call(target.Node, methodPut, putReq{Chunk: ch}, len(ch.Data)+48, c.timeout, func(resp any, err error) {
+				pending--
+				ok, _ := resp.(bool)
+				if err != nil || !ok {
+					failed++
+				} else {
+					pl.Add(ch.ID, target)
+				}
+				check()
+			})
+		}
+	}
+	if pending == 0 {
+		check()
+	}
+}
+
+// Download retrieves and reassembles an object, verifying every chunk
+// against its content address and failing over across holders. In erasure
+// mode any k healthy shards suffice.
+func (c *Client) Download(m *Manifest, pl *Placement, done func(data []byte, err error)) {
+	n := len(m.Chunks)
+	results := make([][]byte, n)
+	remaining := n
+	finished := false
+	finish := func() {
+		if finished {
+			return
+		}
+		finished = true
+		switch m.Mode {
+		case ModeReplicate:
+			var out []byte
+			for i, d := range results {
+				if d == nil {
+					done(nil, fmt.Errorf("storage: chunk %d unrecoverable", i))
+					return
+				}
+				out = append(out, d...)
+			}
+			if cryptoutil.SumHash(out) != m.FileID {
+				done(nil, errors.New("storage: reassembled file hash mismatch"))
+				return
+			}
+			done(out, nil)
+		case ModeErasure:
+			code, err := erasure.New(m.DataShards, m.ParityShards)
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			have := 0
+			for _, d := range results {
+				if d != nil {
+					have++
+				}
+			}
+			if have < m.DataShards {
+				done(nil, fmt.Errorf("storage: only %d/%d shards available, need %d", have, len(results), m.DataShards))
+				return
+			}
+			if err := code.Reconstruct(results); err != nil {
+				done(nil, err)
+				return
+			}
+			out, err := code.Join(results, m.Size)
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			if cryptoutil.SumHash(out) != m.FileID {
+				done(nil, errors.New("storage: reconstructed file hash mismatch"))
+				return
+			}
+			done(out, nil)
+		}
+	}
+	for i := range m.Chunks {
+		i := i
+		c.fetchChunk(m.Chunks[i], pl.Holders[m.Chunks[i]], 0, func(data []byte, ok bool) {
+			if ok {
+				results[i] = data
+			}
+			remaining--
+			if remaining == 0 {
+				finish()
+			}
+		})
+	}
+	if n == 0 {
+		finish()
+	}
+}
+
+// fetchChunk tries holders in order until one returns data matching the
+// content address.
+func (c *Client) fetchChunk(id cryptoutil.Hash, holders []ProviderRef, i int, done func([]byte, bool)) {
+	if i >= len(holders) {
+		done(nil, false)
+		return
+	}
+	c.rpc.Call(holders[i].Node, methodGet, id, 40, c.timeout, func(resp any, err error) {
+		if err == nil {
+			if gr, ok := resp.(getResp); ok && gr.OK && cryptoutil.SumHash(gr.Data) == id {
+				done(gr.Data, true)
+				return
+			}
+		}
+		c.fetchChunk(id, holders, i+1, done)
+	})
+}
+
+// AuditResult is the outcome of one proof-of-storage challenge.
+type AuditResult struct {
+	ChunkIndex int
+	Holder     ProviderRef
+	OK         bool
+	Err        string
+}
+
+// AuditReport aggregates an audit pass over a manifest.
+type AuditReport struct {
+	Results []AuditResult
+}
+
+// Passed returns how many challenges succeeded.
+func (r *AuditReport) Passed() int {
+	n := 0
+	for _, res := range r.Results {
+		if res.OK {
+			n++
+		}
+	}
+	return n
+}
+
+// Failed returns how many challenges failed.
+func (r *AuditReport) Failed() int { return len(r.Results) - r.Passed() }
+
+// FailedHolders returns the distinct providers that failed at least one
+// challenge.
+func (r *AuditReport) FailedHolders() []ProviderRef {
+	seen := map[simnet.NodeID]bool{}
+	var out []ProviderRef
+	for _, res := range r.Results {
+		if !res.OK && !seen[res.Holder.Node] {
+			seen[res.Holder.Node] = true
+			out = append(out, res.Holder)
+		}
+	}
+	return out
+}
+
+// Audit issues one random-leaf proof-of-storage challenge to every holder
+// of every chunk. deadline bounds each challenge round trip; a correct
+// answer arriving after the deadline counts as failure (catching
+// outsourcing attacks by timing).
+func (c *Client) Audit(m *Manifest, pl *Placement, deadline time.Duration, done func(*AuditReport)) {
+	report := &AuditReport{}
+	pending := 0
+	finished := false
+	check := func() {
+		if pending == 0 && !finished {
+			finished = true
+			done(report)
+		}
+	}
+	rng := c.rpc.Node().Network().Rand()
+	for ci, id := range m.Chunks {
+		root := m.ChunkRoots[ci]
+		// Chunk sizes vary; challenge a random leaf within the smallest
+		// plausible bound. Providers reject out-of-range leaves, so derive
+		// the leaf bound from manifest size per chunk.
+		leafCount := numProofLeaves(chunkDataLen(m, ci))
+		for _, holder := range pl.Holders[id] {
+			pending++
+			ci, holder := ci, holder
+			leaf := rng.Intn(leafCount)
+			req := challengeReq{ChunkID: id, Leaf: leaf}
+			c.rpc.Call(holder.Node, methodChallenge, req, 48, deadline, func(resp any, err error) {
+				pending--
+				res := AuditResult{ChunkIndex: ci, Holder: holder}
+				if err != nil {
+					res.Err = err.Error()
+				} else if cr, ok := resp.(challengeResp); !ok || !cr.OK {
+					res.Err = "challenge refused"
+				} else if !cryptoutil.VerifyProof(root, cr.LeafData, cr.Proof) {
+					res.Err = "merkle proof invalid"
+				} else {
+					res.OK = true
+				}
+				report.Results = append(report.Results, res)
+				check()
+			})
+		}
+	}
+	if pending == 0 {
+		check()
+	}
+}
+
+// chunkDataLen returns the byte length of chunk ci per the manifest.
+func chunkDataLen(m *Manifest, ci int) int {
+	switch m.Mode {
+	case ModeErasure:
+		if m.DataShards == 0 {
+			return 0
+		}
+		shardLen := (m.Size + m.DataShards - 1) / m.DataShards
+		if shardLen == 0 {
+			shardLen = 1
+		}
+		return shardLen
+	default:
+		n := len(m.Chunks)
+		if n == 0 || m.ChunkSize <= 0 {
+			return 0
+		}
+		if ci == n-1 {
+			last := m.Size - m.ChunkSize*(n-1)
+			if last >= 0 {
+				return last
+			}
+		}
+		return m.ChunkSize
+	}
+}
+
+// Repair restores target redundancy after provider failures. In replicate
+// mode it copies surviving replicas onto fresh providers from the pool; in
+// erasure mode it reconstructs lost shards from any k survivors and
+// re-places them. done receives how many chunk copies were restored.
+func (c *Client) Repair(m *Manifest, pl *Placement, pool []ProviderRef, done func(restored int, err error)) {
+	switch m.Mode {
+	case ModeReplicate:
+		c.repairReplicate(m, pl, pool, done)
+	case ModeErasure:
+		c.repairErasure(m, pl, pool, done)
+	default:
+		done(0, errors.New("storage: unknown placement mode"))
+	}
+}
+
+func (c *Client) repairReplicate(m *Manifest, pl *Placement, pool []ProviderRef, done func(int, error)) {
+	type job struct {
+		id      cryptoutil.Hash
+		missing int
+	}
+	var jobs []job
+	for _, id := range m.Chunks {
+		if n := pl.Count(id); n < m.Replicas {
+			jobs = append(jobs, job{id: id, missing: m.Replicas - n})
+		}
+	}
+	if len(jobs) == 0 {
+		done(0, nil)
+		return
+	}
+	restored := 0
+	pending := len(jobs)
+	var anyErr error
+	for _, j := range jobs {
+		j := j
+		c.fetchChunk(j.id, pl.Holders[j.id], 0, func(data []byte, ok bool) {
+			if !ok {
+				anyErr = fmt.Errorf("storage: chunk %s has no surviving replica", j.id.Short())
+				pending--
+				if pending == 0 {
+					done(restored, anyErr)
+				}
+				return
+			}
+			c.placeOnFresh(NewChunk(data), pl, pool, nil, j.missing, func(placed int) {
+				restored += placed
+				if placed < j.missing && anyErr == nil {
+					anyErr = fmt.Errorf("storage: chunk %s restored %d/%d copies", j.id.Short(), placed, j.missing)
+				}
+				pending--
+				if pending == 0 {
+					done(restored, anyErr)
+				}
+			})
+		})
+	}
+}
+
+func (c *Client) repairErasure(m *Manifest, pl *Placement, pool []ProviderRef, done func(int, error)) {
+	// Which shards are lost?
+	lost := 0
+	for _, id := range m.Chunks {
+		if pl.Count(id) == 0 {
+			lost++
+		}
+	}
+	if lost == 0 {
+		done(0, nil)
+		return
+	}
+	// Fetch all available shards, reconstruct, re-place the missing ones.
+	n := len(m.Chunks)
+	shards := make([][]byte, n)
+	remaining := n
+	for i := range m.Chunks {
+		i := i
+		c.fetchChunk(m.Chunks[i], pl.Holders[m.Chunks[i]], 0, func(data []byte, ok bool) {
+			if ok {
+				shards[i] = data
+			}
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			code, err := erasure.New(m.DataShards, m.ParityShards)
+			if err != nil {
+				done(0, err)
+				return
+			}
+			if err := code.Reconstruct(shards); err != nil {
+				done(0, err)
+				return
+			}
+			restored := 0
+			pending := 0
+			finished := false
+			check := func() {
+				if pending == 0 && !finished {
+					finished = true
+					var err error
+					if restored < lost {
+						err = fmt.Errorf("storage: restored %d/%d lost shards", restored, lost)
+					}
+					done(restored, err)
+				}
+			}
+			// Shards of one object must sit on distinct providers:
+			// co-locating them would let one death erase several shards.
+			occupied := map[simnet.NodeID]bool{}
+			for _, id := range m.Chunks {
+				for _, h := range pl.Holders[id] {
+					occupied[h.Node] = true
+				}
+			}
+			for si, id := range m.Chunks {
+				if pl.Count(id) > 0 {
+					continue
+				}
+				pending++
+				ch := NewChunk(shards[si])
+				c.placeOnFresh(ch, pl, pool, occupied, 1, func(placed int) {
+					restored += placed
+					for _, h := range pl.Holders[ch.ID] {
+						occupied[h.Node] = true
+					}
+					pending--
+					check()
+				})
+			}
+			check()
+		})
+	}
+}
+
+// placeOnFresh puts a chunk on up to want providers that do not already
+// hold it (nor appear in exclude), trying pool members in a random order so
+// repeated repairs spread load instead of piling every restored chunk onto
+// the first live pool member.
+func (c *Client) placeOnFresh(ch Chunk, pl *Placement, pool []ProviderRef, exclude map[simnet.NodeID]bool, want int, done func(placed int)) {
+	holders := map[simnet.NodeID]bool{}
+	for _, h := range pl.Holders[ch.ID] {
+		holders[h.Node] = true
+	}
+	var candidates []ProviderRef
+	for _, p := range pool {
+		if !holders[p.Node] && !exclude[p.Node] {
+			candidates = append(candidates, p)
+		}
+	}
+	rng := c.rpc.Node().Network().Rand()
+	rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	placed := 0
+	var try func(i int)
+	try = func(i int) {
+		if placed >= want || i >= len(candidates) {
+			done(placed)
+			return
+		}
+		target := candidates[i]
+		c.rpc.Call(target.Node, methodPut, putReq{Chunk: ch}, len(ch.Data)+48, c.timeout, func(resp any, err error) {
+			if ok, _ := resp.(bool); err == nil && ok {
+				pl.Add(ch.ID, target)
+				placed++
+			}
+			try(i + 1)
+		})
+	}
+	try(0)
+}

@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cryptoutil"
+)
+
+// Client-side encryption: the §5.3 "guerrilla tactic" — "running encrypted
+// services on the cloud" — and PrPl's model of keeping data "in encrypted
+// form on public storage providers". The owner encrypts every chunk under
+// a key derived from a private master secret before upload; providers (or
+// a cloud) store and serve ciphertext they cannot read, decoupling
+// *authority* over the data from the *infrastructure* holding it. All
+// placement, audit, and repair machinery operates unchanged on the sealed
+// bytes.
+
+// BoxKey is an owner's client-side encryption master secret.
+type BoxKey struct {
+	master []byte
+}
+
+// NewBoxKey derives a box key from a master secret (e.g. the owner's
+// signing key seed or a passphrase-derived secret).
+func NewBoxKey(masterSecret []byte) *BoxKey {
+	return &BoxKey{master: cryptoutil.HKDF(masterSecret, nil, []byte("storage-box-key"), 32)}
+}
+
+// chunkKey derives a distinct AES key per chunk index so identical chunks
+// at different positions produce unlinkable ciphertexts.
+func (k *BoxKey) chunkKey(index int) []byte {
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], uint64(index))
+	return cryptoutil.HKDF(k.master, idx[:], []byte("storage-box-chunk"), 32)
+}
+
+// EncryptObject seals plaintext into an uploadable blob: a random-looking
+// byte stream providers cannot interpret. Layout: per-chunk AES-GCM frames
+// of fixed plaintext size, each with its own nonce.
+const boxFrameSize = 4096
+
+// EncryptObject encrypts data for upload. The result is what Upload (or
+// UploadErasure) should receive; the owner keeps only the BoxKey and the
+// original length.
+func (k *BoxKey) EncryptObject(data []byte) ([]byte, error) {
+	var out []byte
+	for i, off := 0, 0; off < len(data) || (off == 0 && len(data) == 0); i, off = i+1, off+boxFrameSize {
+		end := off + boxFrameSize
+		if end > len(data) {
+			end = len(data)
+		}
+		nonce := make([]byte, 12)
+		binary.BigEndian.PutUint64(nonce[:8], uint64(i))
+		ct, err := cryptoutil.Seal(k.chunkKey(i), nonce, data[off:end], []byte("box-frame"))
+		if err != nil {
+			return nil, err
+		}
+		var lenHdr [4]byte
+		binary.BigEndian.PutUint32(lenHdr[:], uint32(len(ct)))
+		out = append(out, lenHdr[:]...)
+		out = append(out, ct...)
+		if len(data) == 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// DecryptObject reverses EncryptObject.
+func (k *BoxKey) DecryptObject(sealed []byte) ([]byte, error) {
+	var out []byte
+	for i, off := 0, 0; off < len(sealed); i++ {
+		if off+4 > len(sealed) {
+			return nil, fmt.Errorf("storage: sealed object truncated at frame %d", i)
+		}
+		n := int(binary.BigEndian.Uint32(sealed[off : off+4]))
+		off += 4
+		if off+n > len(sealed) {
+			return nil, fmt.Errorf("storage: sealed frame %d overruns buffer", i)
+		}
+		nonce := make([]byte, 12)
+		binary.BigEndian.PutUint64(nonce[:8], uint64(i))
+		pt, err := cryptoutil.Open(k.chunkKey(i), nonce, sealed[off:off+n], []byte("box-frame"))
+		if err != nil {
+			return nil, fmt.Errorf("storage: frame %d: %w", i, err)
+		}
+		out = append(out, pt...)
+		off += n
+	}
+	return out, nil
+}

@@ -1,0 +1,388 @@
+package storage
+
+import (
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/simnet"
+)
+
+// ProviderRef addresses a storage provider on the simulated network.
+type ProviderRef struct {
+	Node simnet.NodeID
+}
+
+// CheatMode configures a dishonest provider, modelling the attacks §3.3's
+// proof mechanisms exist to catch.
+type CheatMode int
+
+const (
+	// Honest providers store and serve faithfully.
+	Honest CheatMode = iota
+	// DropAfterAck acknowledges writes, then discards the data.
+	DropAfterAck
+	// CorruptBits stores the data but flips bits before serving or
+	// proving.
+	CorruptBits
+	// DedupReplicas claims to hold every sealed replica but stores only
+	// the first, re-sealing others on demand (Sybil/generation attack
+	// against proof-of-replication).
+	DedupReplicas
+	// OutsourceFetch stores nothing locally and fetches from an accomplice
+	// provider when challenged (outsourcing attack); responses arrive
+	// late.
+	OutsourceFetch
+)
+
+// RPC method names.
+const (
+	methodPut          = "storage.put"
+	methodGet          = "storage.get"
+	methodHas          = "storage.has"
+	methodChallenge    = "storage.challenge"    // proof-of-storage
+	methodRetChallenge = "storage.retchallenge" // proof-of-retrievability
+	methodPutSealed    = "storage.putsealed"    // proof-of-replication
+	methodRepChallenge = "storage.repchallenge"
+)
+
+type putReq struct {
+	Chunk Chunk
+}
+
+type getResp struct {
+	Data []byte
+	OK   bool
+}
+
+type challengeReq struct {
+	ChunkID cryptoutil.Hash
+	Leaf    int
+}
+
+type challengeResp struct {
+	LeafData []byte
+	Proof    *cryptoutil.MerkleProof
+	OK       bool
+}
+
+type retChallengeReq struct {
+	ChunkID cryptoutil.Hash
+	Salt    []byte
+}
+
+type retChallengeResp struct {
+	MAC []byte
+	OK  bool
+}
+
+type putSealedReq struct {
+	ChunkID cryptoutil.Hash // original chunk the replica derives from
+	Replica int
+	Data    []byte // sealed bytes
+}
+
+type repChallengeReq struct {
+	ChunkID cryptoutil.Hash
+	Replica int
+	Leaf    int
+}
+
+// Provider is one storage node. Capacity is in bytes; Price is the posted
+// price per byte-epoch used by the contract market.
+type Provider struct {
+	rpc      *simnet.RPCNode
+	capacity int64
+	used     int64
+	price    uint64
+	cheat    CheatMode
+	// accomplice is the provider OutsourceFetch cheaters fetch from.
+	accomplice simnet.NodeID
+	chunks     map[cryptoutil.Hash][]byte
+	// sealed[chunkID][replica] holds sealed replica bytes.
+	sealed map[cryptoutil.Hash]map[int][]byte
+	// sealDelayPerByte is the simulated cost of the sealing transform;
+	// generation-attack detection relies on it being much larger than the
+	// challenge deadline.
+	sealDelayPerByte time.Duration
+	// Stats.
+	Stores, Serves, Challenges int
+}
+
+// NewProvider starts a provider with the given capacity (bytes) and cheat
+// mode on node.
+func NewProvider(node *simnet.Node, capacity int64, cheat CheatMode) *Provider {
+	p := &Provider{
+		rpc:              simnet.NewRPCNode(node),
+		capacity:         capacity,
+		cheat:            cheat,
+		chunks:           map[cryptoutil.Hash][]byte{},
+		sealed:           map[cryptoutil.Hash]map[int][]byte{},
+		sealDelayPerByte: 10 * time.Microsecond,
+	}
+	p.rpc.Serve(methodPut, p.onPut)
+	p.rpc.Serve(methodGet, p.onGet)
+	p.rpc.Serve(methodHas, p.onHas)
+	p.rpc.Serve(methodChallenge, p.onChallenge)
+	p.rpc.Serve(methodRetChallenge, p.onRetChallenge)
+	p.rpc.Serve(methodPutSealed, p.onPutSealed)
+	p.rpc.Serve(methodRepChallenge, p.onRepChallenge)
+	if cheat == OutsourceFetch {
+		// The outsourcing attacker answers data requests and proofs by
+		// first fetching the chunk from an accomplice — correct answers,
+		// but one network round-trip late. Verifiers with a tight deadline
+		// catch the added latency (§3.3 "Outsourcing Attacks").
+		p.rpc.ServeAsync(methodGet, func(from simnet.NodeID, req any, reply func(any, int)) {
+			id, ok := req.(cryptoutil.Hash)
+			if !ok {
+				reply(getResp{}, 8)
+				return
+			}
+			p.fetchFromAccomplice(id, func(data []byte, ok bool) {
+				if !ok {
+					reply(getResp{}, 8)
+					return
+				}
+				p.Serves++
+				reply(getResp{Data: data, OK: true}, 16+len(data))
+			})
+		})
+		p.rpc.ServeAsync(methodChallenge, func(from simnet.NodeID, req any, reply func(any, int)) {
+			r, ok := req.(challengeReq)
+			if !ok {
+				reply(challengeResp{}, 8)
+				return
+			}
+			p.Challenges++
+			p.fetchFromAccomplice(r.ChunkID, func(data []byte, ok bool) {
+				if !ok {
+					reply(challengeResp{}, 8)
+					return
+				}
+				reply(buildStorageProof(data, r.Leaf))
+			})
+		})
+		p.rpc.ServeAsync(methodRetChallenge, func(from simnet.NodeID, req any, reply func(any, int)) {
+			r, ok := req.(retChallengeReq)
+			if !ok {
+				reply(retChallengeResp{}, 8)
+				return
+			}
+			p.Challenges++
+			p.fetchFromAccomplice(r.ChunkID, func(data []byte, ok bool) {
+				if !ok {
+					reply(retChallengeResp{}, 8)
+					return
+				}
+				reply(retChallengeResp{MAC: cryptoutil.HMAC256(r.Salt, data), OK: true}, 48)
+			})
+		})
+	}
+	return p
+}
+
+// fetchFromAccomplice pulls a chunk from the attacker's accomplice node.
+func (p *Provider) fetchFromAccomplice(id cryptoutil.Hash, done func(data []byte, ok bool)) {
+	p.rpc.Call(p.accomplice, methodGet, id, 40, 30*time.Second, func(resp any, err error) {
+		if err != nil {
+			done(nil, false)
+			return
+		}
+		gr, ok := resp.(getResp)
+		if !ok || !gr.OK {
+			done(nil, false)
+			return
+		}
+		done(gr.Data, true)
+	})
+}
+
+// buildStorageProof computes the Merkle challenge response for chunk data.
+func buildStorageProof(data []byte, leaf int) (challengeResp, int) {
+	leaves := proofLeaves(data)
+	if leaf < 0 || leaf >= len(leaves) {
+		return challengeResp{}, 8
+	}
+	tree, err := cryptoutil.NewMerkleTree(leaves)
+	if err != nil {
+		return challengeResp{}, 8
+	}
+	proof, err := tree.Prove(leaf)
+	if err != nil {
+		return challengeResp{}, 8
+	}
+	return challengeResp{LeafData: leaves[leaf], Proof: proof, OK: true}, 64 + len(leaves[leaf]) + 32*len(proof.Steps)
+}
+
+// Node returns the provider's simnet node.
+func (p *Provider) Node() *simnet.Node { return p.rpc.Node() }
+
+// Ref returns the provider's network reference.
+func (p *Provider) Ref() ProviderRef { return ProviderRef{Node: p.rpc.Node().ID()} }
+
+// SetPrice posts the provider's price per byte-epoch.
+func (p *Provider) SetPrice(price uint64) { p.price = price }
+
+// Price returns the posted price.
+func (p *Provider) Price() uint64 { return p.price }
+
+// SetAccomplice points an OutsourceFetch cheater at the provider it
+// secretly fetches from.
+func (p *Provider) SetAccomplice(n simnet.NodeID) { p.accomplice = n }
+
+// Used returns the bytes currently stored.
+func (p *Provider) Used() int64 { return p.used }
+
+// Capacity returns the provider's capacity in bytes.
+func (p *Provider) Capacity() int64 { return p.capacity }
+
+// HasChunk reports whether the provider truly holds the chunk (test/debug
+// introspection, not an RPC).
+func (p *Provider) HasChunk(id cryptoutil.Hash) bool { _, ok := p.chunks[id]; return ok }
+
+func (p *Provider) onPut(from simnet.NodeID, req any) (any, int) {
+	r, ok := req.(putReq)
+	if !ok || !r.Chunk.Verify() {
+		return false, 8
+	}
+	switch p.cheat {
+	case DropAfterAck, OutsourceFetch:
+		p.Stores++
+		return true, 8 // lie
+	}
+	if p.used+int64(len(r.Chunk.Data)) > p.capacity {
+		return false, 8
+	}
+	data := append([]byte{}, r.Chunk.Data...)
+	if p.cheat == CorruptBits && len(data) > 0 {
+		data[0] ^= 0xff
+	}
+	p.chunks[r.Chunk.ID] = data
+	p.used += int64(len(data))
+	p.Stores++
+	return true, 8
+}
+
+func (p *Provider) onGet(from simnet.NodeID, req any) (any, int) {
+	id, ok := req.(cryptoutil.Hash)
+	if !ok {
+		return getResp{}, 8
+	}
+	data, have := p.chunks[id]
+	if !have {
+		return getResp{}, 8
+	}
+	p.Serves++
+	return getResp{Data: data, OK: true}, 16 + len(data)
+}
+
+func (p *Provider) onHas(from simnet.NodeID, req any) (any, int) {
+	id, ok := req.(cryptoutil.Hash)
+	if !ok {
+		return false, 8
+	}
+	if p.cheat == DropAfterAck || p.cheat == OutsourceFetch {
+		return true, 8 // keep lying
+	}
+	_, have := p.chunks[id]
+	return have, 8
+}
+
+// onChallenge answers a proof-of-storage Merkle challenge.
+func (p *Provider) onChallenge(from simnet.NodeID, req any) (any, int) {
+	r, ok := req.(challengeReq)
+	if !ok {
+		return challengeResp{}, 8
+	}
+	p.Challenges++
+	data, have := p.chunks[r.ChunkID]
+	if !have {
+		return challengeResp{}, 8
+	}
+	return buildStorageProof(data, r.Leaf)
+}
+
+// onRetChallenge answers a proof-of-retrievability sentinel challenge:
+// HMAC(salt, chunk).
+func (p *Provider) onRetChallenge(from simnet.NodeID, req any) (any, int) {
+	r, ok := req.(retChallengeReq)
+	if !ok {
+		return retChallengeResp{}, 8
+	}
+	p.Challenges++
+	data, have := p.chunks[r.ChunkID]
+	if !have {
+		return retChallengeResp{}, 8
+	}
+	return retChallengeResp{MAC: cryptoutil.HMAC256(r.Salt, data), OK: true}, 48
+}
+
+func (p *Provider) onPutSealed(from simnet.NodeID, req any) (any, int) {
+	r, ok := req.(putSealedReq)
+	if !ok {
+		return false, 8
+	}
+	if p.used+int64(len(r.Data)) > p.capacity {
+		return false, 8
+	}
+	if p.cheat == DropAfterAck || p.cheat == OutsourceFetch {
+		p.Stores++
+		return true, 8 // lie, as for plain chunks
+	}
+	if p.cheat == CorruptBits && len(r.Data) > 0 {
+		r.Data = append([]byte{}, r.Data...)
+		r.Data[0] ^= 0xff
+	}
+	if p.cheat == DedupReplicas && r.Replica > 0 {
+		// Claim success but store only replica 0; keep the original chunk
+		// (needed for on-demand re-sealing) via replica 0's slot.
+		p.Stores++
+		return true, 8
+	}
+	if p.sealed[r.ChunkID] == nil {
+		p.sealed[r.ChunkID] = map[int][]byte{}
+	}
+	p.sealed[r.ChunkID][r.Replica] = append([]byte{}, r.Data...)
+	p.used += int64(len(r.Data))
+	p.Stores++
+	return true, 8
+}
+
+// onRepChallenge answers a proof-of-replication challenge: a Merkle leaf of
+// the sealed replica. Cheating providers can regenerate the sealed data,
+// but regeneration costs sealDelayPerByte — the response arrives after the
+// verifier's deadline (generation-attack detection by timing, as in
+// Filecoin's slow sealing function).
+func (p *Provider) onRepChallenge(from simnet.NodeID, req any) (any, int) {
+	r, ok := req.(repChallengeReq)
+	if !ok {
+		return challengeResp{}, 8
+	}
+	p.Challenges++
+	replicas := p.sealed[r.ChunkID]
+	data, have := replicas[r.Replica]
+	if !have {
+		// A DedupReplicas cheater could re-seal the missing replica from
+		// replica 0 on demand, but sealing costs sealDelayPerByte per byte
+		// — far beyond the verifier's challenge deadline. A late response
+		// is indistinguishable from none, so the cheater simply fails the
+		// challenge (generation-attack detection by slow sealing, as in
+		// Filecoin).
+		return challengeResp{}, 8
+	}
+	return buildStorageProof(data, r.Leaf)
+}
+
+// Probe asks a provider whether it (claims to) hold a chunk — a cheap
+// liveness/possession hint. Unlike a proof-of-storage challenge, the
+// answer is unverified: a lying provider (DropAfterAck) will claim
+// possession, which is exactly why the proof mechanisms exist.
+func (c *Client) Probe(holder ProviderRef, id cryptoutil.Hash, timeout time.Duration, done func(claims bool, reachable bool)) {
+	c.rpc.Call(holder.Node, methodHas, id, 40, timeout, func(resp any, err error) {
+		if err != nil {
+			done(false, false)
+			return
+		}
+		has, _ := resp.(bool)
+		done(has, true)
+	})
+}

@@ -1,0 +1,150 @@
+// Scale smoke tests: larger populations than the unit tests use, ensuring
+// the substrates hold up beyond toy sizes. Skipped under -short.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/cryptoutil"
+	"repro/internal/dht"
+	"repro/internal/gossip"
+	"repro/internal/simnet"
+)
+
+func TestScaleDHT150Peers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	nw := simnet.New(201)
+	const peers = 150
+	ps := make([]*dht.Peer, peers)
+	for i := range ps {
+		ps[i] = dht.NewPeer(nw.AddNode(), dht.Key{}, dht.Config{})
+	}
+	for i := 1; i < peers; i++ {
+		i := i
+		nw.After(time.Duration(i)*50*time.Millisecond, func() {
+			ps[i].Bootstrap(ps[0].Contact(), nil)
+		})
+	}
+	nw.Run(time.Duration(peers) * 100 * time.Millisecond)
+
+	const keys = 40
+	for i := 0; i < keys; i++ {
+		ps[i%peers].Put(cryptoutil.SumHash([]byte(fmt.Sprintf("scale-%d", i))), []byte{byte(i)}, nil)
+	}
+	nw.Run(nw.Now() + 2*time.Minute)
+
+	misses := 0
+	for i := 0; i < keys; i++ {
+		reader := ps[(i*37+11)%peers]
+		found := false
+		reader.Get(cryptoutil.SumHash([]byte(fmt.Sprintf("scale-%d", i))), func(v []byte, ok bool) { found = ok })
+		nw.Run(nw.Now() + 30*time.Second)
+		if !found {
+			misses++
+		}
+	}
+	if misses > 0 {
+		t.Errorf("%d/%d lookups missed at 150 peers", misses, keys)
+	}
+}
+
+func TestScaleChainEightMinersWithRetargeting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	nw := simnet.New(202)
+	spacing := 10 * time.Second
+	cfg := chain.Config{
+		InitialDifficulty: 1 << 9, // low: hashrate below will push it up via retarget
+		TargetSpacing:     spacing,
+		RetargetInterval:  20,
+		Subsidy:           50,
+	}
+	const n = 8
+	miners := make([]*chain.Miner, n)
+	ids := make([]simnet.NodeID, n)
+	for i := 0; i < n; i++ {
+		node := nw.AddNode()
+		ids[i] = node.ID()
+		miners[i] = chain.NewMiner(node, chain.NewChain(cfg), cryptoutil.SumHash([]byte{byte(i), 0x5C}),
+			2*float64(cfg.InitialDifficulty)/spacing.Seconds()/n) // 2 blocks/spacing initially
+	}
+	for i, m := range miners {
+		var peers []simnet.NodeID
+		for j, id := range ids {
+			if j != i {
+				peers = append(peers, id)
+			}
+		}
+		m.SetPeers(peers)
+		m.Start()
+	}
+	nw.Run(2 * time.Hour)
+	for _, m := range miners {
+		m.Stop()
+	}
+	nw.RunAll()
+
+	head := miners[0].Chain().HeadHash()
+	for i, m := range miners {
+		if m.Chain().HeadHash() != head {
+			t.Fatalf("miner %d diverged", i)
+		}
+	}
+	c := miners[0].Chain()
+	if c.Height() < 400 {
+		t.Errorf("height = %d over 2h; expected ≥400", c.Height())
+	}
+	// Retargeting should have raised difficulty above genesis (we mine 2x
+	// faster than the target at genesis difficulty).
+	if got := c.Head().Header.Difficulty; got <= cfg.InitialDifficulty {
+		t.Errorf("difficulty = %d, want > %d after retargeting", got, cfg.InitialDifficulty)
+	}
+	// Every miner should have found blocks.
+	for i, m := range miners {
+		if m.BlocksFound() == 0 {
+			t.Errorf("miner %d found nothing", i)
+		}
+	}
+}
+
+func TestScaleGossip120Members(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	nw := simnet.New(203)
+	const n = 120
+	members := make([]*gossip.Member, n)
+	ids := make([]simnet.NodeID, n)
+	for i := range members {
+		members[i] = gossip.NewMember(nw.AddNode(), gossip.Config{Fanout: 4, AntiEntropyInterval: 30 * time.Second})
+		ids[i] = members[i].Node().ID()
+	}
+	for i, m := range members {
+		var peers []simnet.NodeID
+		for j, id := range ids {
+			if j != i {
+				peers = append(peers, id)
+			}
+		}
+		m.SetPeers(peers)
+	}
+	const items = 25
+	for i := 0; i < items; i++ {
+		members[(i*13)%n].Publish(gossip.Item{
+			ID:   cryptoutil.SumHash([]byte(fmt.Sprintf("item-%d", i))),
+			Data: i, Size: 200,
+		})
+	}
+	nw.Run(10 * time.Minute)
+	for i, m := range members {
+		if m.Len() != items {
+			t.Errorf("member %d has %d/%d items", i, m.Len(), items)
+		}
+	}
+}
