@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: ci fmt build vet test race bench
+
+# ci is the gate run before merging: formatting, build, vet, the race
+# detector over the simulator and experiment harnesses (the packages with
+# parallel trial runners), and the full test suite.
+ci: fmt build vet race test
+
+fmt:
+	@files="$$(gofmt -l .)"; \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/simnet/... ./internal/experiments/...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x ./...

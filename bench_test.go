@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/simnet"
 )
 
 // printOnce emits a table the first time a benchmark runs.
@@ -71,19 +72,21 @@ func BenchmarkFiftyOnePercent(b *testing.B) {
 }
 
 // BenchmarkCommAvailability is experiment X3: deliverability versus failed
-// servers across the four group-communication models.
+// servers across the four group-communication models, aggregated over a
+// seed batch (mean [p50 p95] per cell).
 func BenchmarkCommAvailability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.CommAvailability(int64(i+11), 10, []float64{0, 0.1, 0.2, 0.3, 0.5})
+		t := experiments.CommAvailabilityMulti(simnet.Seeds(int64(i+11), 4), 0, 10, []float64{0, 0.1, 0.2, 0.3, 0.5})
 		emit(b, "x3", t)
 	}
 }
 
 // BenchmarkSocialP2P is experiment X4: social-P2P delivery versus friend
-// degree and uptime, plus the metadata-exposure table.
+// degree and uptime aggregated over a seed batch, plus the
+// metadata-exposure table.
 func BenchmarkSocialP2P(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.SocialP2P(int64(i+13), 30, []int{2, 4, 8}, []float64{0.5, 0.75, 0.95})
+		t := experiments.SocialP2PMulti(simnet.Seeds(int64(i+13), 4), 0, 30, []int{2, 4, 8}, []float64{0.5, 0.75, 0.95})
 		emit(b, "x4", t)
 		emit(b, "x4b", experiments.MetadataExposureTable(10))
 	}
@@ -94,7 +97,7 @@ func BenchmarkSocialP2P(b *testing.B) {
 // without repair.
 func BenchmarkStorageDurability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.StorageDurability(int64(i+17), 16, 24, 6*time.Hour, 0.5)
+		t := experiments.StorageDurabilityMulti(simnet.Seeds(int64(i+17), 3), 0, 16, 24, 6*time.Hour, 0.5)
 		emit(b, "x5", t)
 	}
 }
@@ -112,7 +115,7 @@ func BenchmarkStorageProofs(b *testing.B) {
 // distribution, client-server versus hostless.
 func BenchmarkHostlessWeb(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.HostlessWeb(int64(i+23), 30)
+		t := experiments.HostlessWebMulti(simnet.Seeds(int64(i+23), 3), 0, 30)
 		emit(b, "x7", t)
 	}
 }
@@ -148,7 +151,7 @@ func BenchmarkSelfishMining(b *testing.B) {
 // versus datacenter infrastructure.
 func BenchmarkDHTQuality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.DHTQuality(int64(i+41), 40, 40)
+		t := experiments.DHTQualityMulti(simnet.Seeds(int64(i+41), 3), 0, 40, 40)
 		emit(b, "x11", t)
 	}
 }

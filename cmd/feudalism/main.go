@@ -5,10 +5,14 @@
 //
 // Usage:
 //
-//	feudalism table1|table2|table3|zooko        # paper tables + naming triangle
-//	feudalism experiment <id> [-seed N]         # run one experiment
-//	feudalism all [-seed N]                     # everything, in order
-//	feudalism list                              # available experiment ids
+//	feudalism table1|table2|table3|zooko          # paper tables + naming triangle
+//	feudalism experiment <id> [-seed N] [-trials T] [-workers W]
+//	feudalism all [-seed N]                       # everything, in order
+//	feudalism list                                # available experiment ids
+//
+// With -trials T > 1 the stochastic experiments run T independent seeds in
+// parallel (simnet.Trials) and report mean [p50 p95] per cell instead of a
+// single draw; deterministic experiments ignore the flag.
 package main
 
 import (
@@ -19,60 +23,78 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/feasibility"
+	"repro/internal/simnet"
 )
 
 var experimentIDs = []struct {
 	id, desc string
 	run      func(seed int64) fmt.Stringer
+	// multi, when non-nil, is the multi-seed aggregated variant used for
+	// -trials > 1. Deterministic experiments leave it nil.
+	multi func(seeds []int64, workers int) fmt.Stringer
 }{
 	{"naming-throughput", "X1: registration latency/throughput, centralized vs blockchain", func(seed int64) fmt.Stringer {
 		return experiments.NamingSchemes(seed, 20)
-	}},
+	}, nil},
 	{"fifty-one", "X2: private-branch (51%) attack success vs hashrate share", func(seed int64) fmt.Stringer {
 		return experiments.FiftyOnePercent(seed, 20, 18)
+	}, func(seeds []int64, workers int) fmt.Stringer {
+		return experiments.FiftyOnePercentMulti(seeds, workers, 20, 18)
 	}},
 	{"comm-availability", "X3: message deliverability vs failed servers, four models", func(seed int64) fmt.Stringer {
 		return experiments.CommAvailability(seed, 10, []float64{0, 0.1, 0.2, 0.3, 0.5})
+	}, func(seeds []int64, workers int) fmt.Stringer {
+		return experiments.CommAvailabilityMulti(seeds, workers, 10, []float64{0, 0.1, 0.2, 0.3, 0.5})
 	}},
 	{"social-p2p", "X4: social-P2P delivery vs friend degree and uptime", func(seed int64) fmt.Stringer {
 		return experiments.SocialP2P(seed, 30, []int{2, 4, 8}, []float64{0.5, 0.75, 0.95})
+	}, func(seeds []int64, workers int) fmt.Stringer {
+		return experiments.SocialP2PMulti(seeds, workers, 30, []int{2, 4, 8}, []float64{0.5, 0.75, 0.95})
 	}},
 	{"metadata", "X4b: per-message metadata exposure by model", func(seed int64) fmt.Stringer {
 		return experiments.MetadataExposureTable(10)
-	}},
+	}, nil},
 	{"storage-durability", "X5: object survival under permanent provider failures", func(seed int64) fmt.Stringer {
 		return experiments.StorageDurability(seed, 20, 30, 6*time.Hour, 0.5)
+	}, func(seeds []int64, workers int) fmt.Stringer {
+		return experiments.StorageDurabilityMulti(seeds, workers, 20, 30, 6*time.Hour, 0.5)
 	}},
 	{"storage-attacks", "X6: proof mechanisms vs provider attacks", func(seed int64) fmt.Stringer {
 		return experiments.StorageAttacks(seed)
-	}},
+	}, nil},
 	{"incentives", "E2 demo: every Table 2 incentive scheme executed", func(seed int64) fmt.Stringer {
 		return experiments.RunIncentiveDemos(seed)
-	}},
+	}, nil},
 	{"hostless-web", "X7: website availability, client-server vs hostless", func(seed int64) fmt.Stringer {
 		return experiments.HostlessWeb(seed, 40)
+	}, func(seeds []int64, workers int) fmt.Stringer {
+		return experiments.HostlessWebMulti(seeds, workers, 40)
 	}},
 	{"usenet-load", "X8: per-server cost growth, Usenet flood vs federated-home", func(seed int64) fmt.Stringer {
 		return experiments.UsenetLoad(seed, []int{5, 10, 20, 40}, 20, 512)
-	}},
+	}, nil},
 	{"abuse", "X9: spam exposure vs moderation coverage, three models", func(seed int64) fmt.Stringer {
 		return experiments.AbuseContainment(seed, 20, []float64{0, 0.25, 0.5, 0.75, 1})
-	}},
+	}, nil},
 	{"selfish-mining", "X10: revenue share, honest vs selfish withholding strategy", func(seed int64) fmt.Stringer {
 		return experiments.SelfishMining(seed, 12, 150)
+	}, func(seeds []int64, workers int) fmt.Stringer {
+		return experiments.SelfishMiningMulti(seeds, workers, 12, 150)
 	}},
 	{"dht-quality", "X11: DHT lookups on device-grade vs datacenter infrastructure", func(seed int64) fmt.Stringer {
 		return experiments.DHTQuality(seed, 40, 40)
+	}, func(seeds []int64, workers int) fmt.Stringer {
+		return experiments.DHTQualityMulti(seeds, workers, 40, 40)
 	}},
 	{"wot-sybil", "X12: web-of-trust Sybil amplification vs ring size", func(seed int64) fmt.Stringer {
 		return experiments.WoTSybil(seed, 12, []int{10, 50, 200, 1000})
-	}},
+	}, nil},
 	{"ledger-growth", "X13: endless-ledger growth vs SPV and compaction", func(seed int64) fmt.Stringer {
 		return experiments.LedgerGrowth(seed, 6, 20)
-	}},
+	}, nil},
 	{"sensitivity", "E3 sensitivity: perturbing the §4 feasibility constants", func(seed int64) fmt.Stringer {
 		return experiments.FeasibilitySensitivity()
-	}},
+	}, nil},
 }
 
 func main() {
@@ -109,10 +131,16 @@ func main() {
 		id := fs.Arg(0)
 		rest := flag.NewFlagSet("experiment "+id, flag.ExitOnError)
 		seed2 := rest.Int64("seed", *seed, "simulation seed")
+		trials := rest.Int("trials", 1, "number of independent seeds to aggregate over")
+		workers := rest.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		_ = rest.Parse(fs.Args()[1:])
 		for _, e := range experimentIDs {
 			if e.id == id {
-				fmt.Print(e.run(*seed2))
+				if *trials > 1 && e.multi != nil {
+					fmt.Print(e.multi(simnet.Seeds(*seed2, *trials), *workers))
+				} else {
+					fmt.Print(e.run(*seed2))
+				}
 				return
 			}
 		}

@@ -68,9 +68,12 @@ func TestNamingOverLiveChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	miners[0].SubmitTx(pre)
-	nw.Run(3 * spacing)
+	// Run long enough that the preorder confirms with near certainty before
+	// the register is submitted: block discovery is exponential, so a 3×
+	// spacing window leaves a ~5 % chance of an empty chain.
+	nw.Run(8 * spacing)
 	miners[1].SubmitTx(cl.Register("integration.id", []byte("zone"))) // submit via another miner
-	nw.Run(nw.Now() + 6*spacing)
+	nw.Run(nw.Now() + 8*spacing)
 	for _, m := range miners {
 		m.Stop()
 	}

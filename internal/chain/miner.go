@@ -36,7 +36,9 @@ type Miner struct {
 	// pinned, when non-zero, overrides the chain head as the mining parent.
 	pinned cryptoutil.Hash
 
-	epoch       int // bumped to cancel in-flight mining events
+	// mineTimer is the pending block-discovery event; rescheduling mining
+	// cancels it outright instead of leaving a dead event in the queue.
+	mineTimer   simnet.Timer
 	blocksFound int
 	orphans     map[cryptoutil.Hash][]*Block // parent hash -> waiting blocks
 	started     bool
@@ -65,7 +67,7 @@ func NewMiner(node *simnet.Node, c *Chain, address Address, hashrate float64) *M
 			m.scheduleMine()
 		}
 	})
-	node.OnDown(func() { m.epoch++ })
+	node.OnDown(func() { m.mineTimer.Cancel() })
 	c.OnHead(func(b *Block) {
 		m.pool.RemoveMined(b)
 		if m.started && m.pinned.IsZero() {
@@ -139,10 +141,10 @@ func (m *Miner) Start() {
 	m.scheduleMine()
 }
 
-// Stop halts mining (in-flight discovery events are cancelled).
+// Stop halts mining (the in-flight discovery event is cancelled).
 func (m *Miner) Stop() {
 	m.started = false
-	m.epoch++
+	m.mineTimer.Cancel()
 }
 
 func (m *Miner) miningParent() cryptoutil.Hash {
@@ -158,21 +160,21 @@ func (m *Miner) miningParent() cryptoutil.Hash {
 }
 
 func (m *Miner) scheduleMine() {
+	m.mineTimer.Cancel()
 	if m.hashrate <= 0 || !m.started {
 		return
 	}
-	m.epoch++
-	myEpoch := m.epoch
 	parent := m.miningParent()
 	difficulty := m.chain.NextDifficulty(parent)
 	mean := float64(difficulty) / m.hashrate // seconds
-	nw := m.node.Network()
-	delay := time.Duration(nw.Rand().ExpFloat64() * mean * float64(time.Second))
+	// The discovery delay draws from the miner's own RNG stream, so one
+	// miner's luck is independent of every other node's event schedule.
+	delay := time.Duration(m.node.Rand().ExpFloat64() * mean * float64(time.Second))
 	if delay <= 0 {
 		delay = time.Nanosecond
 	}
-	nw.After(delay, func() {
-		if m.epoch != myEpoch || !m.node.Up() || !m.started {
+	m.mineTimer = m.node.Network().AfterTimer(delay, func() {
+		if !m.node.Up() || !m.started {
 			return
 		}
 		m.mineOne(parent)

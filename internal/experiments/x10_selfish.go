@@ -25,7 +25,7 @@ func SelfishMining(seed int64, trials, horizonBlocks int) *Table {
 			horizonBlocks, trials),
 		Headers: []string{"Hashrate Share", "Honest Revenue", "Selfish Revenue", "Selfish Pays Off"},
 	}
-	for _, share := range []float64{0.2, 0.3, 0.35, 0.4, 0.45} {
+	for _, share := range selfishShares {
 		honest := averageRevenue(seed, share, trials, horizonBlocks, false)
 		selfish := averageRevenue(seed, share, trials, horizonBlocks, true)
 		t.Add(fmt.Sprintf("%.0f%%", share*100),
@@ -36,12 +36,45 @@ func SelfishMining(seed int64, trials, horizonBlocks int) *Table {
 	return t
 }
 
+var selfishShares = []float64{0.2, 0.3, 0.35, 0.4, 0.45}
+
+// averageRevenue fans the revenue trials over simnet.Trials; per-trial
+// seeds reproduce the original serial derivation base + i·104729.
 func averageRevenue(seed int64, share float64, trials, horizon int, selfish bool) float64 {
 	sum := 0.0
-	for i := 0; i < trials; i++ {
-		sum += selfishTrial(seed+int64(i)*104729, share, horizon, selfish)
+	for _, v := range simnet.Trials(strideSeeds(seed, 104729, trials), 0, func(s int64) float64 {
+		return selfishTrial(s, share, horizon, selfish)
+	}) {
+		sum += v
 	}
 	return sum / float64(trials)
+}
+
+// selfishMatrix is the numeric core of X10: one seed, honest and selfish
+// revenue shares per hashrate share (each still averaging `trials` races).
+func selfishMatrix(seed int64, trials, horizonBlocks int) Matrix {
+	rows := make([]string, len(selfishShares))
+	for i, s := range selfishShares {
+		rows[i] = fmt.Sprintf("%.0f%%", s*100)
+	}
+	mx := NewMatrix(rows, []string{"Honest Revenue", "Selfish Revenue"})
+	for r, share := range selfishShares {
+		mx.Vals[r][0] = averageRevenue(seed, share, trials, horizonBlocks, false)
+		mx.Vals[r][1] = averageRevenue(seed, share, trials, horizonBlocks, true)
+	}
+	return mx
+}
+
+// SelfishMiningMulti is X10 aggregated over a batch of seeds on `workers`
+// parallel trial runners (0 = GOMAXPROCS).
+func SelfishMiningMulti(seeds []int64, workers, trials, horizonBlocks int) *Table {
+	agg := AggregateSeeds(seeds, workers, func(seed int64) Matrix {
+		return selfishMatrix(seed, trials, horizonBlocks)
+	})
+	return agg.Table(
+		fmt.Sprintf("X10: attacker revenue share, honest vs selfish strategy (γ=0, %d blocks × %d trials)",
+			horizonBlocks, trials),
+		"Hashrate Share", "%.2f")
 }
 
 // selfishTrial runs one race and returns the attacker's fraction of

@@ -23,32 +23,19 @@ func DHTQuality(seed int64, peers, lookups int) *Table {
 		Title:   fmt.Sprintf("X11: DHT lookups on device-grade vs datacenter infrastructure (%d peers, %d lookups)", peers, lookups),
 		Headers: []string{"Attachment", "Churn", "Lookup Success", "Mean Latency", "P99 Latency"},
 	}
-	profiles := []struct {
-		name string
-		p    simnet.LinkProfile
-	}{
-		{"datacenter", simnet.DatacenterProfile()},
-		{"home broadband", simnet.HomeBroadbandProfile()},
-		{"mobile 3G", simnet.MobileProfile()},
-	}
-	variants := []struct {
-		label     string
-		churn     bool
-		republish bool
-	}{
-		{"none", false, true},
-		{"churn + republish", true, true},
-		{"churn, no republish", true, false},
-	}
+	profiles, variants := dhtGrid()
 	const trials = 3
 	for _, prof := range profiles {
 		for _, v := range variants {
+			prof, v := prof, v
 			var success, mean, p99 float64
-			for trial := 0; trial < trials; trial++ {
-				s, m, p := dhtQualityRun(seed+int64(trial)*6151, peers, lookups, prof.p, v.churn, v.republish)
-				success += s
-				mean += m
-				p99 += p
+			for _, o := range simnet.Trials(strideSeeds(seed, 6151, trials), 0, func(s int64) dhtOutcome {
+				su, m, p := dhtQualityRun(s, peers, lookups, prof.p, v.churn, v.republish)
+				return dhtOutcome{su, m, p}
+			}) {
+				success += o.success
+				mean += o.mean
+				p99 += o.p99
 			}
 			t.Add(prof.name, v.label,
 				fmt.Sprintf("%.0f%%", success/trials*100),
@@ -57,6 +44,73 @@ func DHTQuality(seed int64, peers, lookups int) *Table {
 		}
 	}
 	return t
+}
+
+type dhtOutcome struct{ success, mean, p99 float64 }
+
+// dhtProfiles and dhtVariants define the X11 grid shared by the single-seed
+// and multi-seed renderers.
+func dhtGrid() (profiles []struct {
+	name string
+	p    simnet.LinkProfile
+}, variants []struct {
+	label     string
+	churn     bool
+	republish bool
+}) {
+	profiles = []struct {
+		name string
+		p    simnet.LinkProfile
+	}{
+		{"datacenter", simnet.DatacenterProfile()},
+		{"home broadband", simnet.HomeBroadbandProfile()},
+		{"mobile 3G", simnet.MobileProfile()},
+	}
+	variants = []struct {
+		label     string
+		churn     bool
+		republish bool
+	}{
+		{"none", false, true},
+		{"churn + republish", true, true},
+		{"churn, no republish", true, false},
+	}
+	return
+}
+
+// dhtQualityMatrix is the numeric core of X11: one seed, one (success %,
+// mean ms, p99 ms) triple per (attachment, churn-variant) row.
+func dhtQualityMatrix(seed int64, peers, lookups int) Matrix {
+	profiles, variants := dhtGrid()
+	var rows []string
+	for _, prof := range profiles {
+		for _, v := range variants {
+			rows = append(rows, prof.name+" / "+v.label)
+		}
+	}
+	mx := NewMatrix(rows, []string{"Lookup Success", "Mean Latency", "P99 Latency"})
+	r := 0
+	for _, prof := range profiles {
+		for _, v := range variants {
+			s, m, p := dhtQualityRun(seed, peers, lookups, prof.p, v.churn, v.republish)
+			mx.Vals[r][0] = s * 100
+			mx.Vals[r][1] = m * 1000
+			mx.Vals[r][2] = p * 1000
+			r++
+		}
+	}
+	return mx
+}
+
+// DHTQualityMulti is X11 aggregated over a batch of seeds (one run per
+// seed) on `workers` parallel trial runners (0 = GOMAXPROCS).
+func DHTQualityMulti(seeds []int64, workers, peers, lookups int) *Table {
+	agg := AggregateSeeds(seeds, workers, func(seed int64) Matrix {
+		return dhtQualityMatrix(seed, peers, lookups)
+	})
+	return agg.Table(
+		fmt.Sprintf("X11: DHT lookups on device-grade vs datacenter infrastructure (%d peers, %d lookups)", peers, lookups),
+		"Attachment / Churn", "%.0f%%", "%.0fms", "%.0fms")
 }
 
 func dhtQualityRun(seed int64, peerCount, lookups int, profile simnet.LinkProfile, churn, republish bool) (success, meanSec, p99Sec float64) {

@@ -21,21 +21,65 @@ func FiftyOnePercent(seed int64, trials int, horizonBlocks int) *Table {
 		Title:   fmt.Sprintf("X2: private-branch (51%%) attack, horizon ≈%d blocks, %d trials/share", horizonBlocks, trials),
 		Headers: []string{"Attacker Hashrate Share", "Reorg Success Rate", "Mean Attacker Lead (blocks)"},
 	}
-	for _, share := range []float64{0.1, 0.2, 0.3, 0.4, 0.45, 0.55, 0.6, 0.75} {
-		wins := 0
-		var leadSum float64
-		for trial := 0; trial < trials; trial++ {
-			won, lead := fiftyOneTrial(seed+int64(trial)*1000+int64(share*100), share, horizonBlocks)
-			if won {
-				wins++
-			}
-			leadSum += float64(lead)
-		}
+	for _, share := range fiftyOneShares {
+		wins, meanLead := fiftyOneRow(seed, share, trials, horizonBlocks)
 		t.Add(fmt.Sprintf("%.0f%%", share*100),
-			fmt.Sprintf("%.0f%%", 100*float64(wins)/float64(trials)),
-			fmt.Sprintf("%+.1f", leadSum/float64(trials)))
+			fmt.Sprintf("%.0f%%", 100*wins),
+			fmt.Sprintf("%+.1f", meanLead))
 	}
 	return t
+}
+
+var fiftyOneShares = []float64{0.1, 0.2, 0.3, 0.4, 0.45, 0.55, 0.6, 0.75}
+
+// fiftyOneRow fans the per-share trials over simnet.Trials and reduces to
+// (win rate, mean attacker lead). The per-trial seeds reproduce the
+// original serial derivation base + trial·1000.
+func fiftyOneRow(seed int64, share float64, trials, horizonBlocks int) (winRate, meanLead float64) {
+	type outcome struct {
+		won  bool
+		lead int
+	}
+	outs := simnet.Trials(strideSeeds(seed+int64(share*100), 1000, trials), 0, func(s int64) outcome {
+		won, lead := fiftyOneTrial(s, share, horizonBlocks)
+		return outcome{won, lead}
+	})
+	wins := 0
+	var leadSum float64
+	for _, o := range outs {
+		if o.won {
+			wins++
+		}
+		leadSum += float64(o.lead)
+	}
+	return float64(wins) / float64(trials), leadSum / float64(trials)
+}
+
+// fiftyOneMatrix is the numeric core of X2: one seed, one (win rate, mean
+// lead) pair per attacker share, each share still averaging `trials` races.
+func fiftyOneMatrix(seed int64, trials, horizonBlocks int) Matrix {
+	rows := make([]string, len(fiftyOneShares))
+	for i, s := range fiftyOneShares {
+		rows[i] = fmt.Sprintf("%.0f%%", s*100)
+	}
+	mx := NewMatrix(rows, []string{"Reorg Success Rate", "Mean Attacker Lead (blocks)"})
+	for r, share := range fiftyOneShares {
+		win, lead := fiftyOneRow(seed, share, trials, horizonBlocks)
+		mx.Vals[r][0] = win * 100
+		mx.Vals[r][1] = lead
+	}
+	return mx
+}
+
+// FiftyOnePercentMulti is X2 aggregated over a batch of seeds on `workers`
+// parallel trial runners (0 = GOMAXPROCS).
+func FiftyOnePercentMulti(seeds []int64, workers, trials, horizonBlocks int) *Table {
+	agg := AggregateSeeds(seeds, workers, func(seed int64) Matrix {
+		return fiftyOneMatrix(seed, trials, horizonBlocks)
+	})
+	return agg.Table(
+		fmt.Sprintf("X2: private-branch (51%%) attack, horizon ≈%d blocks, %d trials/share", horizonBlocks, trials),
+		"Attacker Hashrate Share", "%.0f%%", "%+.1f")
 }
 
 // fiftyOneTrial runs one race and reports whether the honest node reorged

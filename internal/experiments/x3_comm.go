@@ -24,14 +24,24 @@ import (
 //   - social-p2p: no servers; the peers are the users, so the same f is
 //     applied to them directly → surviving pairs still deliver.
 func CommAvailability(seed int64, servers int, failFractions []float64) *Table {
+	m := commAvailabilityMatrix(seed, servers, failFractions)
 	t := &Table{
 		Title:   fmt.Sprintf("X3: deliverability vs fraction of failed servers (S=%d, 1 user/server)", servers),
-		Headers: []string{"Model"},
+		Headers: append([]string{"Model"}, m.Cols...),
 	}
-	for _, f := range failFractions {
-		t.Headers = append(t.Headers, fmt.Sprintf("f=%.0f%%", f*100))
+	for r, name := range m.Rows {
+		row := []any{name}
+		for c := range m.Cols {
+			row = append(row, fmt.Sprintf("%.2f", m.Vals[r][c]))
+		}
+		t.Add(row...)
 	}
+	return t
+}
 
+// commAvailabilityMatrix is the numeric core of X3: one seed, one
+// deliverability figure per (model, fail-fraction) cell.
+func commAvailabilityMatrix(seed int64, servers int, failFractions []float64) Matrix {
 	models := []struct {
 		name string
 		run  func(seed int64, servers int, f float64) float64
@@ -41,14 +51,32 @@ func CommAvailability(seed int64, servers int, failFractions []float64) *Table {
 		{"federated-replicated", fedReplDeliverability},
 		{"social-p2p", socialP2PDeliverability},
 	}
-	for _, m := range models {
-		row := []any{m.name}
-		for _, f := range failFractions {
-			row = append(row, fmt.Sprintf("%.2f", m.run(seed, servers, f)))
-		}
-		t.Add(row...)
+	cols := make([]string, len(failFractions))
+	for i, f := range failFractions {
+		cols[i] = fmt.Sprintf("f=%.0f%%", f*100)
 	}
-	return t
+	rows := make([]string, len(models))
+	for i, m := range models {
+		rows[i] = m.name
+	}
+	mx := NewMatrix(rows, cols)
+	for r, m := range models {
+		for c, f := range failFractions {
+			mx.Vals[r][c] = m.run(seed, servers, f)
+		}
+	}
+	return mx
+}
+
+// CommAvailabilityMulti is X3 aggregated over a batch of seeds on `workers`
+// parallel trial runners (0 = GOMAXPROCS).
+func CommAvailabilityMulti(seeds []int64, workers, servers int, failFractions []float64) *Table {
+	agg := AggregateSeeds(seeds, workers, func(seed int64) Matrix {
+		return commAvailabilityMatrix(seed, servers, failFractions)
+	})
+	return agg.Table(
+		fmt.Sprintf("X3: deliverability vs fraction of failed servers (S=%d, 1 user/server)", servers),
+		"Model", "%.2f")
 }
 
 func killCount(servers int, f float64) int {

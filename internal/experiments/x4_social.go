@@ -25,17 +25,52 @@ func SocialP2P(seed int64, users int, degrees []int, availabilities []float64) *
 	}
 	const trials = 5
 	for _, d := range degrees {
+		d := d
 		row := []any{fmt.Sprintf("%d", d)}
 		for _, a := range availabilities {
+			a := a
 			sum := 0.0
-			for trial := 0; trial < trials; trial++ {
-				sum += socialP2PRun(seed+int64(trial)*7919, users, d, a)
+			for _, v := range simnet.Trials(strideSeeds(seed, 7919, trials), 0, func(s int64) float64 {
+				return socialP2PRun(s, users, d, a)
+			}) {
+				sum += v
 			}
 			row = append(row, fmt.Sprintf("%.2f", sum/trials))
 		}
 		t.Add(row...)
 	}
 	return t
+}
+
+// socialP2PMatrix is the numeric core of X4: one seed, one delivery ratio
+// per (degree, availability) cell.
+func socialP2PMatrix(seed int64, users int, degrees []int, availabilities []float64) Matrix {
+	rows := make([]string, len(degrees))
+	for i, d := range degrees {
+		rows[i] = fmt.Sprintf("%d", d)
+	}
+	cols := make([]string, len(availabilities))
+	for i, a := range availabilities {
+		cols[i] = fmt.Sprintf("uptime=%.0f%%", a*100)
+	}
+	mx := NewMatrix(rows, cols)
+	for r, d := range degrees {
+		for c, a := range availabilities {
+			mx.Vals[r][c] = socialP2PRun(seed, users, d, a)
+		}
+	}
+	return mx
+}
+
+// SocialP2PMulti is X4 aggregated over a batch of seeds (one trial per
+// seed) on `workers` parallel trial runners (0 = GOMAXPROCS).
+func SocialP2PMulti(seeds []int64, workers, users int, degrees []int, availabilities []float64) *Table {
+	agg := AggregateSeeds(seeds, workers, func(seed int64) Matrix {
+		return socialP2PMatrix(seed, users, degrees, availabilities)
+	})
+	return agg.Table(
+		fmt.Sprintf("X4: social-P2P delivery to friends within 15min (N=%d, anti-entropy 60s)", users),
+		"Mean Degree", "%.2f")
 }
 
 func socialP2PRun(seed int64, users, degree int, availability float64) float64 {

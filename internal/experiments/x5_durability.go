@@ -21,10 +21,9 @@ type durabilityScheme struct {
 	upload   func(c *storage.Client, data []byte, pool []storage.ProviderRef, done func(*storage.Manifest, *storage.Placement, error))
 }
 
-// StorageDurability runs the durability × repair matrix and returns the
-// result table.
-func StorageDurability(seed int64, objects, providers int, horizon time.Duration, deadFraction float64) *Table {
-	schemes := []durabilityScheme{
+// durabilitySchemes is the fixed scheme axis of the X5 matrix.
+func durabilitySchemes() []durabilityScheme {
+	return []durabilityScheme{
 		{"replicate r=1", 1, func(c *storage.Client, d []byte, p []storage.ProviderRef, done func(*storage.Manifest, *storage.Placement, error)) {
 			c.Upload(d, 0, p, 1, done)
 		}},
@@ -41,21 +40,57 @@ func StorageDurability(seed int64, objects, providers int, horizon time.Duration
 			c.UploadErasure(d, 4, 4, p, done)
 		}},
 	}
+}
+
+// StorageDurability runs the durability × repair matrix and returns the
+// result table.
+func StorageDurability(seed int64, objects, providers int, horizon time.Duration, deadFraction float64) *Table {
+	schemes := durabilitySchemes()
+	m := durabilityMatrix(seed, objects, providers, horizon, deadFraction)
 	t := &Table{
 		Title: fmt.Sprintf("X5: object survival after %v with %.0f%% of %d providers dying permanently (%d objects)",
 			horizon, deadFraction*100, providers, objects),
 		Headers: []string{"Scheme", "Overhead", "Survival (no repair)", "Survival (repair/30m)", "Repair Traffic (KB)"},
 	}
-	for _, s := range schemes {
-		noRepair, _ := durabilityRun(seed, s, objects, providers, horizon, deadFraction, 0)
-		withRepair, traffic := durabilityRun(seed, s, objects, providers, horizon, deadFraction, 30*time.Minute)
+	for r, s := range schemes {
 		t.Add(s.name,
 			fmt.Sprintf("%.1fx", s.overhead),
-			fmt.Sprintf("%.0f%%", noRepair*100),
-			fmt.Sprintf("%.0f%%", withRepair*100),
-			fmt.Sprintf("%.0f", traffic/1024))
+			fmt.Sprintf("%.0f%%", m.Vals[r][0]),
+			fmt.Sprintf("%.0f%%", m.Vals[r][1]),
+			fmt.Sprintf("%.0f", m.Vals[r][2]))
 	}
 	return t
+}
+
+// durabilityMatrix is the numeric core of X5: one seed, per scheme the
+// survival percentages without and with repair plus the repair traffic.
+func durabilityMatrix(seed int64, objects, providers int, horizon time.Duration, deadFraction float64) Matrix {
+	schemes := durabilitySchemes()
+	rows := make([]string, len(schemes))
+	for i, s := range schemes {
+		rows[i] = s.name
+	}
+	mx := NewMatrix(rows, []string{"Survival (no repair)", "Survival (repair/30m)", "Repair Traffic (KB)"})
+	for r, s := range schemes {
+		noRepair, _ := durabilityRun(seed, s, objects, providers, horizon, deadFraction, 0)
+		withRepair, traffic := durabilityRun(seed, s, objects, providers, horizon, deadFraction, 30*time.Minute)
+		mx.Vals[r][0] = noRepair * 100
+		mx.Vals[r][1] = withRepair * 100
+		mx.Vals[r][2] = traffic / 1024
+	}
+	return mx
+}
+
+// StorageDurabilityMulti is X5 aggregated over a batch of seeds on
+// `workers` parallel trial runners (0 = GOMAXPROCS).
+func StorageDurabilityMulti(seeds []int64, workers, objects, providers int, horizon time.Duration, deadFraction float64) *Table {
+	agg := AggregateSeeds(seeds, workers, func(seed int64) Matrix {
+		return durabilityMatrix(seed, objects, providers, horizon, deadFraction)
+	})
+	return agg.Table(
+		fmt.Sprintf("X5: object survival after %v with %.0f%% of %d providers dying permanently (%d objects)",
+			horizon, deadFraction*100, providers, objects),
+		"Scheme", "%.0f%%", "%.0f%%", "%.0f")
 }
 
 func durabilityRun(seed int64, scheme durabilityScheme, objects, providers int, horizon time.Duration, deadFraction float64, repairEvery time.Duration) (survival float64, repairBytes float64) {

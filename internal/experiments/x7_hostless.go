@@ -23,17 +23,38 @@ func HostlessWeb(seed int64, visitors int) *Table {
 		Title:   fmt.Sprintf("X7: website availability with publisher death at T/2 (%d visitors over 2h)", visitors),
 		Headers: []string{"Architecture", "Visits OK (publisher alive)", "Visits OK (publisher dead)", "Publisher Share of Bytes Served"},
 	}
-	beforeCS, afterCS, shareCS := clientServerRun(seed, visitors)
-	t.Add("client-server (single origin)",
-		fmt.Sprintf("%.0f%%", beforeCS*100),
-		fmt.Sprintf("%.0f%%", afterCS*100),
-		fmt.Sprintf("%.0f%%", shareCS*100))
-	beforeHL, afterHL, shareHL := hostlessRun(seed, visitors)
-	t.Add("hostless (visitor-seeded)",
-		fmt.Sprintf("%.0f%%", beforeHL*100),
-		fmt.Sprintf("%.0f%%", afterHL*100),
-		fmt.Sprintf("%.0f%%", shareHL*100))
+	m := hostlessMatrix(seed, visitors)
+	for r, name := range m.Rows {
+		t.Add(name,
+			fmt.Sprintf("%.0f%%", m.Vals[r][0]),
+			fmt.Sprintf("%.0f%%", m.Vals[r][1]),
+			fmt.Sprintf("%.0f%%", m.Vals[r][2]))
+	}
 	return t
+}
+
+// hostlessMatrix is the numeric core of X7: one seed, visit-success and
+// load-share percentages for both architectures.
+func hostlessMatrix(seed int64, visitors int) Matrix {
+	mx := NewMatrix(
+		[]string{"client-server (single origin)", "hostless (visitor-seeded)"},
+		[]string{"Visits OK (publisher alive)", "Visits OK (publisher dead)", "Publisher Share of Bytes Served"})
+	beforeCS, afterCS, shareCS := clientServerRun(seed, visitors)
+	mx.Vals[0][0], mx.Vals[0][1], mx.Vals[0][2] = beforeCS*100, afterCS*100, shareCS*100
+	beforeHL, afterHL, shareHL := hostlessRun(seed, visitors)
+	mx.Vals[1][0], mx.Vals[1][1], mx.Vals[1][2] = beforeHL*100, afterHL*100, shareHL*100
+	return mx
+}
+
+// HostlessWebMulti is X7 aggregated over a batch of seeds on `workers`
+// parallel trial runners (0 = GOMAXPROCS).
+func HostlessWebMulti(seeds []int64, workers, visitors int) *Table {
+	agg := AggregateSeeds(seeds, workers, func(seed int64) Matrix {
+		return hostlessMatrix(seed, visitors)
+	})
+	return agg.Table(
+		fmt.Sprintf("X7: website availability with publisher death at T/2 (%d visitors over 2h)", visitors),
+		"Architecture", "%.0f%%")
 }
 
 const originMethod = "origin.get"

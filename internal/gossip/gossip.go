@@ -141,7 +141,7 @@ func (m *Member) push(it Item, exclude simnet.NodeID) {
 	if len(m.peers) == 0 {
 		return
 	}
-	rng := m.node.Network().Rand()
+	rng := m.node.Rand()
 	perm := rng.Perm(len(m.peers))
 	sent := 0
 	for _, pi := range perm {
@@ -171,10 +171,10 @@ func (m *Member) scheduleAntiEntropy() {
 	nw := m.node.Network()
 	// Jitter the period ±25 % so members don't synchronize.
 	period := m.cfg.AntiEntropyInterval
-	jit := time.Duration(nw.Rand().Int63n(int64(period)/2)) - period/4
+	jit := time.Duration(m.node.Rand().Int63n(int64(period)/2)) - period/4
 	nw.After(period+jit, func() {
 		if m.node.Up() && len(m.peers) > 0 {
-			peer := m.peers[nw.Rand().Intn(len(m.peers))]
+			peer := m.peers[m.node.Rand().Intn(len(m.peers))]
 			if peer != m.node.ID() {
 				digest := syncDigest{from: m.node.ID(), ids: m.IDs()}
 				m.node.Send(peer, msgSync, digest, 16+32*len(digest.ids))

@@ -165,13 +165,13 @@ func (p *SocialPeer) onPost(msg simnet.Message) {
 func (p *SocialPeer) scheduleSync() {
 	nw := p.node.Network()
 	period := p.syncEvery
-	jit := time.Duration(nw.Rand().Int63n(int64(period)/2)) - period/4
+	jit := time.Duration(p.node.Rand().Int63n(int64(period)/2)) - period/4
 	nw.After(period+jit, func() {
 		if p.node.Up() && len(p.addrs) > 0 {
 			// Pick one random friend (from a sorted list, for determinism)
 			// and exchange digests.
 			keys := p.sortedFriends()
-			friend := keys[nw.Rand().Intn(len(keys))]
+			friend := keys[p.node.Rand().Intn(len(keys))]
 			ids := make([]cryptoutil.Hash, 0, len(p.seen))
 			for id := range p.seen {
 				ids = append(ids, id)

@@ -1,0 +1,39 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSimnetSend measures the message hot path: Send scheduling plus
+// event-loop delivery, amortized over batches so the queue stays shallow.
+func BenchmarkSimnetSend(b *testing.B) {
+	nw := New(1)
+	src := nw.AddNode()
+	dst := nw.AddNode()
+	dst.Handle("bench", func(m Message) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Send(dst.ID(), "bench", nil, 256)
+		if i%256 == 255 {
+			nw.RunAll()
+		}
+	}
+	nw.RunAll()
+}
+
+// BenchmarkSimnetTimer measures schedule/cancel churn typical of protocol
+// retry patterns: every scheduled timeout is cancelled before it fires.
+func BenchmarkSimnetTimer(b *testing.B) {
+	nw := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.After(time.Duration(i%1000)*time.Millisecond, func() {})
+		if i%1024 == 1023 {
+			nw.RunAll()
+		}
+	}
+	nw.RunAll()
+}

@@ -1,6 +1,9 @@
 package simnet
 
-import "time"
+import (
+	"math/rand"
+	"time"
+)
 
 // Node is one simulated host. All methods must be called from within the
 // simulation goroutine (i.e. from handlers or scheduled functions, or
@@ -9,6 +12,7 @@ type Node struct {
 	id      NodeID
 	nw      *Network
 	profile LinkProfile
+	rng     *rand.Rand
 	up      bool
 
 	uplinkFree   time.Duration
@@ -25,6 +29,7 @@ type Node struct {
 	onUp   []func()
 	onDown []func()
 
+	trace    Trace
 	crashes  int
 	downtime time.Duration
 	downAt   time.Duration
@@ -35,6 +40,18 @@ func (n *Node) ID() NodeID { return n.id }
 
 // Network returns the network this node belongs to.
 func (n *Node) Network() *Network { return n.nw }
+
+// Rand returns the node's private deterministic RNG stream, seeded from
+// (network seed, node id) via SplitMix64. Protocol code on a node must
+// draw from this stream — never from Network.Rand — so the node's
+// stochastic behaviour is a function of the seed and its own actions, not
+// of how unrelated nodes' events interleave.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// Trace returns this node's traffic counters: Sent/BytesSent and send-time
+// drops for messages it originated; Delivered/BytesDelivered/Unhandled and
+// in-flight drops for messages addressed to it.
+func (n *Node) Trace() *Trace { return &n.trace }
 
 // Profile returns the node's link profile.
 func (n *Node) Profile() LinkProfile { return n.profile }
@@ -117,7 +134,9 @@ func (n *Node) Availability() float64 {
 // Churn drives a node through an alternating up/down renewal process with
 // exponentially distributed time-to-failure and time-to-repair. It models
 // the paper's §5.2 point that user-device infrastructure has "intermittency
-// [and] higher failure rates" than datacenters.
+// [and] higher failure rates" than datacenters. Draws come from the node's
+// own RNG stream, so one node's outage schedule is independent of every
+// other node's.
 type Churn struct {
 	// MTTF is the mean time between a restart and the next crash.
 	MTTF time.Duration
@@ -135,7 +154,7 @@ func (c Churn) Apply(n *Node) {
 	var scheduleFail func()
 	var scheduleRepair func()
 	scheduleFail = func() {
-		d := expDraw(nw, c.MTTF)
+		d := expDraw(n, c.MTTF)
 		nw.After(d, func() {
 			if !n.up {
 				return // already down (e.g. manual crash); wait for restart path
@@ -145,7 +164,7 @@ func (c Churn) Apply(n *Node) {
 		})
 	}
 	scheduleRepair = func() {
-		d := expDraw(nw, c.MTTR)
+		d := expDraw(n, c.MTTR)
 		nw.After(d, func() {
 			if n.up {
 				return
@@ -157,11 +176,11 @@ func (c Churn) Apply(n *Node) {
 	scheduleFail()
 }
 
-func expDraw(nw *Network, mean time.Duration) time.Duration {
+func expDraw(n *Node, mean time.Duration) time.Duration {
 	if mean <= 0 {
 		return 0
 	}
-	d := time.Duration(nw.rng.ExpFloat64() * float64(mean))
+	d := time.Duration(n.rng.ExpFloat64() * float64(mean))
 	if d <= 0 {
 		d = time.Nanosecond
 	}

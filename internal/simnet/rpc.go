@@ -34,7 +34,13 @@ type RPCNode struct {
 
 type pendingCall struct {
 	done     func(resp any, err error)
+	timeout  Timer // cancelled when the reply lands, so no dead event lingers
 	finished bool
+}
+
+func (pc *pendingCall) finish() {
+	pc.finished = true
+	pc.timeout.Cancel()
 }
 
 // RPCHandler serves one method: it receives the caller's node ID and request
@@ -68,7 +74,7 @@ func NewRPCNode(n *Node) *RPCNode {
 		for id, pc := range r.pending {
 			delete(r.pending, id)
 			if !pc.finished {
-				pc.finished = true
+				pc.finish()
 				pc.done(nil, fmt.Errorf("simnet: node %d crashed with call in flight", n.ID()))
 			}
 		}
@@ -89,14 +95,15 @@ func (r *RPCNode) ServeAsync(method string, h RPCAsyncHandler) { r.asyncServers[
 // Call issues an asynchronous request to the target's method. done is
 // invoked exactly once: with the response payload on success, or with a
 // non-nil error on timeout, crash, or if the callee does not serve the
-// method.
+// method. The timeout is a cancellable timer: a reply (or caller crash)
+// removes it from the event queue instead of leaving it to fire dead.
 func (r *RPCNode) Call(to NodeID, method string, req any, reqSize int, timeout time.Duration, done func(resp any, err error)) {
 	r.nextID++
 	id := r.nextID
 	pc := &pendingCall{done: done}
 	r.pending[id] = pc
 	r.n.Send(to, rpcKind, &rpcEnvelope{id: id, method: method, payload: req}, reqSize+64)
-	r.n.nw.After(timeout, func() {
+	pc.timeout = r.n.nw.AfterTimer(timeout, func() {
 		if pc.finished {
 			return
 		}
@@ -116,7 +123,7 @@ func (r *RPCNode) onMessage(msg Message) {
 		if !ok || pc.finished {
 			return // late reply after timeout; drop
 		}
-		pc.finished = true
+		pc.finish()
 		delete(r.pending, env.id)
 		if !env.ok {
 			pc.done(nil, fmt.Errorf("simnet: node %d does not serve %s", msg.From, env.method))

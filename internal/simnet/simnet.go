@@ -3,27 +3,44 @@
 // blockchain miners, the Kademlia DHT, the federated and P2P group
 // communication models, the storage network, and the hostless web layer.
 //
-// The paper this repository reproduces argues about *structural* properties
-// of systems — replication, single points of failure, trust topology,
-// device-grade versus datacenter-grade infrastructure (§4 "quality vs
-// quantity") — so the simulator models exactly those knobs:
+// The package is split into an engine and a substrate:
 //
-//   - per-link propagation latency with seeded jitter,
-//   - per-node uplink/downlink bandwidth with serialization queueing
-//     (a 1 Mbps home uplink behaves very differently from a datacenter NIC),
-//   - message loss,
-//   - node up/down state, crash/restart, and exponential churn processes,
-//   - network partitions.
+//   - The engine (scheduler.go) is a pure discrete-event scheduler: an
+//     indexed-heap event queue with cancellable, reschedulable Timer
+//     handles and a pooled, closure-free hot path (events carry an
+//     EventFunc handler plus argument, recycled through a sync.Pool, so
+//     steady-state message traffic allocates nothing). Protocols program
+//     against the Scheduler interface.
+//   - The substrate (this file, node.go, rpc.go) models the network the
+//     paper argues about — §4 "quality vs quantity": per-link propagation
+//     latency with seeded jitter, per-node uplink/downlink bandwidth with
+//     serialization queueing, message loss, node crash/restart and
+//     exponential churn, and partitions.
 //
-// Everything runs on one goroutine from a single seeded RNG, so a run is
-// reproducible bit-for-bit given the same seed and workload.
+// Determinism and randomness. A simulation runs on one goroutine; given the
+// same seed and workload it is reproducible bit for bit. Randomness is
+// split into per-node streams: node i draws from a SplitMix64 stream seeded
+// with mix64(mix64(seed) + (i+1)·golden64) (see splitmix.go for the exact
+// scheme and why the outer whitening step matters),
+// so one node's stochastic behaviour does not depend on how other nodes'
+// events interleave. The network-level stream (Network.Rand) serves
+// substrate draws — loss, jitter — and harness-level workload generation.
+//
+// Scale-out. Independent trials parallelize across cores with Trials
+// (trials.go): each trial owns its whole Network, so parallelism is
+// trial-level and per-seed results are identical at any worker count.
+// Traffic is accounted per node (Node.Trace) and network-wide
+// (Network.Trace), with per-kind delivery-latency histograms available via
+// Network.LatencyHistogram.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // NodeID identifies a node within one Network.
@@ -41,27 +58,6 @@ type Message struct {
 
 // Handler processes a delivered message on the receiving node.
 type Handler func(msg Message)
-
-// event is one scheduled occurrence in the simulation.
-type event struct {
-	at  time.Duration
-	seq uint64 // tie-break so equal-time events run FIFO and deterministically
-	fn  func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
-func (q eventQueue) Peek() *event  { return q[0] }
 
 // LinkProfile describes the network attachment of a node (or the default
 // for the whole network). The zero value is replaced by DatacenterProfile.
@@ -99,28 +95,36 @@ func MobileProfile() LinkProfile {
 	return LinkProfile{Latency: 80 * time.Millisecond, Jitter: 40 * time.Millisecond, UplinkBps: 1e6, DownlinkBps: 4e6, Loss: 0.02}
 }
 
-// Network is a simulated network of nodes sharing one virtual clock.
+// Network is a simulated network of nodes sharing one virtual clock. It
+// embeds the event engine, so it satisfies Scheduler.
 type Network struct {
+	engine
+	seed    int64
 	rng     *rand.Rand
-	now     time.Duration
-	seq     uint64
-	queue   eventQueue
 	nodes   []*Node
 	defProf LinkProfile
 	// partition maps node -> group id; nodes in different groups cannot
 	// exchange messages. Empty map means no partition.
 	partition map[NodeID]int
 	trace     Trace
-	running   bool
+	// latency holds per-message-kind delivery latency histograms, created
+	// lazily on first delivery of each kind.
+	latency      map[string]*metrics.Histogram
+	deliveryPool sync.Pool
+	running      bool
 }
+
+var _ Scheduler = (*Network)(nil)
 
 // New creates a network whose randomness derives entirely from seed.
 // Nodes added later default to DatacenterProfile.
 func New(seed int64) *Network {
 	return &Network{
-		rng:       rand.New(rand.NewSource(seed)),
+		seed:      seed,
+		rng:       networkRand(seed),
 		defProf:   DatacenterProfile(),
 		partition: map[NodeID]int{},
+		latency:   map[string]*metrics.Histogram{},
 	}
 }
 
@@ -128,27 +132,49 @@ func New(seed int64) *Network {
 // this call.
 func (nw *Network) SetDefaultProfile(p LinkProfile) { nw.defProf = p }
 
-// Rand exposes the simulation RNG so protocols draw from the same seeded
-// stream and stay deterministic.
+// Rand exposes the network-level RNG stream: substrate draws (loss,
+// jitter) and harness-level workload generation. Protocol code running on
+// a node should use Node.Rand instead, so the node's behaviour stays
+// independent of global event interleaving.
 func (nw *Network) Rand() *rand.Rand { return nw.rng }
 
-// Now returns the current virtual time.
-func (nw *Network) Now() time.Duration { return nw.now }
+// Seed returns the seed this network was created with.
+func (nw *Network) Seed() int64 { return nw.seed }
 
-// Trace returns the accumulated traffic counters.
+// Trace returns the accumulated network-wide traffic counters.
 func (nw *Network) Trace() *Trace { return &nw.trace }
+
+// LatencyHistogram returns the delivery-latency histogram (in seconds) for
+// a message kind, or nil if nothing of that kind has been delivered.
+// Buckets are 10 ms wide over [0, 30s).
+func (nw *Network) LatencyHistogram(kind string) *metrics.Histogram {
+	return nw.latency[kind]
+}
+
+// LatencyKinds returns the message kinds with recorded delivery latencies.
+func (nw *Network) LatencyKinds() []string {
+	kinds := make([]string, 0, len(nw.latency))
+	for k := range nw.latency {
+		kinds = append(kinds, k)
+	}
+	return kinds
+}
 
 // AddNode creates a node with the current default link profile.
 func (nw *Network) AddNode() *Node {
 	return nw.AddNodeWithProfile(nw.defProf)
 }
 
-// AddNodeWithProfile creates a node with an explicit link profile.
+// AddNodeWithProfile creates a node with an explicit link profile. The
+// node receives its own deterministic RNG stream derived from (network
+// seed, node id); see Node.Rand.
 func (nw *Network) AddNodeWithProfile(p LinkProfile) *Node {
+	id := NodeID(len(nw.nodes))
 	n := &Node{
-		id:       NodeID(len(nw.nodes)),
+		id:       id,
 		nw:       nw,
 		profile:  p,
+		rng:      nodeRand(nw.seed, id),
 		up:       true,
 		handlers: map[string]Handler{},
 	}
@@ -170,19 +196,6 @@ func (nw *Network) NumNodes() int { return len(nw.nodes) }
 // Nodes returns the live slice of all nodes (do not mutate).
 func (nw *Network) Nodes() []*Node { return nw.nodes }
 
-// Schedule runs fn at absolute virtual time at. Scheduling in the past
-// (before Now) runs the function at the current time, preserving order.
-func (nw *Network) Schedule(at time.Duration, fn func()) {
-	if at < nw.now {
-		at = nw.now
-	}
-	nw.seq++
-	heap.Push(&nw.queue, &event{at: at, seq: nw.seq, fn: fn})
-}
-
-// After runs fn after delay d of virtual time.
-func (nw *Network) After(d time.Duration, fn func()) { nw.Schedule(nw.now+d, fn) }
-
 // Run executes events until the queue empties or virtual time reaches
 // until. It returns the virtual time at which it stopped.
 func (nw *Network) Run(until time.Duration) time.Duration {
@@ -191,15 +204,16 @@ func (nw *Network) Run(until time.Duration) time.Duration {
 	}
 	nw.running = true
 	defer func() { nw.running = false }()
-	for len(nw.queue) > 0 {
-		e := nw.queue.Peek()
-		if e.at > until {
+	for {
+		at, ok := nw.peekTime()
+		if !ok {
+			break
+		}
+		if at > until {
 			nw.now = until
 			return nw.now
 		}
-		heap.Pop(&nw.queue)
-		nw.now = e.at
-		e.fn()
+		nw.step()
 	}
 	if nw.now < until {
 		nw.now = until
@@ -212,10 +226,7 @@ func (nw *Network) Run(until time.Duration) time.Duration {
 func (nw *Network) RunAll() {
 	const maxEvents = 50_000_000
 	count := 0
-	for len(nw.queue) > 0 {
-		e := heap.Pop(&nw.queue).(*event)
-		nw.now = e.at
-		e.fn()
+	for nw.step() {
 		if count++; count > maxEvents {
 			panic("simnet: RunAll exceeded event safety bound; runaway schedule?")
 		}
@@ -243,25 +254,91 @@ func (nw *Network) samePartition(a, b NodeID) bool {
 	return nw.partition[a] == nw.partition[b]
 }
 
+// delivery carries an in-flight message through the pooled, closure-free
+// event path.
+type delivery struct {
+	nw     *Network
+	msg    Message
+	sentAt time.Duration
+}
+
+// deliverEvent is the EventFunc for message arrival; arg is a pooled
+// *delivery.
+func deliverEvent(arg any) {
+	d := arg.(*delivery)
+	nw, msg := d.nw, d.msg
+	sentAt := d.sentAt
+	*d = delivery{}
+	nw.deliveryPool.Put(d)
+
+	dst := nw.nodes[msg.To]
+	// Re-check state at delivery time: the receiver may have crashed, or a
+	// partition may have appeared, while the message was in flight.
+	if !dst.up || !nw.samePartition(msg.From, msg.To) {
+		nw.trace.Dropped++
+		dst.trace.Dropped++
+		return
+	}
+	nw.trace.Delivered++
+	nw.trace.BytesDelivered += int64(msg.Size)
+	dst.trace.Delivered++
+	dst.trace.BytesDelivered += int64(msg.Size)
+	nw.observeLatency(msg.Kind, nw.now-sentAt)
+	if h, ok := dst.handlers[msg.Kind]; ok {
+		h(msg)
+	} else if dst.defaultHandler != nil {
+		dst.defaultHandler(msg)
+	} else {
+		nw.trace.Unhandled++
+		dst.trace.Unhandled++
+	}
+}
+
+func (nw *Network) observeLatency(kind string, lat time.Duration) {
+	h, ok := nw.latency[kind]
+	if !ok {
+		// 10 ms buckets over [0, 30s): fine enough for RTT-scale traffic,
+		// wide enough that bandwidth-bound transfers rarely overflow.
+		h = metrics.NewHistogram(0, 30, 3000)
+		nw.latency[kind] = h
+	}
+	h.Observe(lat.Seconds())
+}
+
 // Send transmits a message. Delivery is scheduled according to both
 // endpoints' link profiles; the message is silently dropped (and counted in
 // the trace) if either endpoint is down, the endpoints are partitioned, or
 // the loss draw fires. Send reports whether delivery was scheduled.
+//
+// Accounting: Sent/BytesSent and send-time drops are charged to the
+// sending node's Trace; Delivered/BytesDelivered/Unhandled and in-flight
+// drops to the receiving node's. The network-wide Trace sees everything.
 func (nw *Network) Send(msg Message) bool {
-	nw.trace.Sent++
-	nw.trace.BytesSent += int64(msg.Size)
 	src := nw.Node(msg.From)
 	dst := nw.Node(msg.To)
 	if src == nil || dst == nil {
 		panic(fmt.Sprintf("simnet: send between unknown nodes %d -> %d", msg.From, msg.To))
 	}
+	nw.trace.Sent++
+	nw.trace.BytesSent += int64(msg.Size)
+	src.trace.Sent++
+	src.trace.BytesSent += int64(msg.Size)
 	if !src.up || !dst.up || !nw.samePartition(msg.From, msg.To) {
 		nw.trace.Dropped++
+		src.trace.Dropped++
 		return false
 	}
-	if p := src.profile.Loss + dst.profile.Loss; p > 0 && nw.rng.Float64() < p {
-		nw.trace.Dropped++
-		return false
+	// Loss at either endpoint is an independent drop, so the combined
+	// probability composes as 1-(1-pa)(1-pb) — summing would overstate the
+	// rate (and can exceed 1). The draw happens before the uplink is
+	// charged: a lost message never occupies the sender's uplink, so it
+	// cannot delay later traffic.
+	if pa, pb := src.profile.Loss, dst.profile.Loss; pa > 0 || pb > 0 {
+		if p := 1 - (1-pa)*(1-pb); nw.rng.Float64() < p {
+			nw.trace.Dropped++
+			src.trace.Dropped++
+			return false
+		}
 	}
 
 	// Serialization on the sender's uplink: the message waits for the
@@ -291,24 +368,12 @@ func (nw *Network) Send(msg Message) bool {
 		dst.downlinkFree = arrive
 	}
 
-	nw.Schedule(arrive, func() {
-		// Re-check state at delivery time: the receiver may have crashed,
-		// or a partition may have appeared, while the message was in
-		// flight.
-		if !dst.up || !nw.samePartition(msg.From, msg.To) {
-			nw.trace.Dropped++
-			return
-		}
-		nw.trace.Delivered++
-		nw.trace.BytesDelivered += int64(msg.Size)
-		if h, ok := dst.handlers[msg.Kind]; ok {
-			h(msg)
-		} else if dst.defaultHandler != nil {
-			dst.defaultHandler(msg)
-		} else {
-			nw.trace.Unhandled++
-		}
-	})
+	d, ok := nw.deliveryPool.Get().(*delivery)
+	if !ok {
+		d = new(delivery)
+	}
+	d.nw, d.msg, d.sentAt = nw, msg, nw.now
+	nw.ScheduleCall(arrive, deliverEvent, d)
 	return true
 }
 
@@ -316,7 +381,8 @@ func secondsToDuration(s float64) time.Duration {
 	return time.Duration(s * float64(time.Second))
 }
 
-// Trace accumulates network-wide traffic statistics.
+// Trace accumulates traffic statistics; the Network holds a network-wide
+// instance and every Node holds its own.
 type Trace struct {
 	Sent           int64
 	Delivered      int64

@@ -1,0 +1,66 @@
+package simnet
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Multi-trial runner: experiments stop being single-seed, single-core by
+// fanning N independent seeds across worker goroutines. Parallelism is
+// strictly trial-level — each trial constructs and owns its entire Network,
+// so no simulation state is shared between goroutines and every per-seed
+// result is bit-for-bit identical no matter how many workers run or how
+// the OS schedules them.
+
+// Trials runs one trial per seed, at most workers at a time, and returns
+// the results in seed order. workers <= 0 means GOMAXPROCS. run must be
+// self-contained: it builds its own Network from the seed and returns a
+// value derived only from that simulation.
+func Trials[T any](seeds []int64, workers int, run func(seed int64) T) []T {
+	results := make([]T, len(seeds))
+	if len(seeds) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	if workers == 1 {
+		for i, s := range seeds {
+			results[i] = run(s)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seeds) {
+					return
+				}
+				results[i] = run(seeds[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Seeds derives n deterministic, well-spread trial seeds from base using
+// SplitMix64. Distinct bases yield unrelated seed lists; the same base
+// always yields the same list.
+func Seeds(base int64, n int) []int64 {
+	src := NewSplitMix64(mix64(uint64(base)))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(src.Uint64())
+	}
+	return out
+}

@@ -100,7 +100,7 @@ func (c *Client) placeChunks(chunks []Chunk, providers []ProviderRef, replicas i
 	pending := 0
 	failed := 0
 	finished := false
-	rng := c.rpc.Node().Network().Rand()
+	rng := c.rpc.Node().Rand()
 	offset := rng.Intn(len(providers))
 	check := func() {
 		if pending == 0 && !finished {
@@ -112,21 +112,30 @@ func (c *Client) placeChunks(chunks []Chunk, providers []ProviderRef, replicas i
 			done(pl, nil)
 		}
 	}
+	// A put travels lossy links, so a transport error gets one retry; a
+	// refusal is the provider's deterministic answer and is final.
+	var put func(ch Chunk, target ProviderRef, retries int)
+	put = func(ch Chunk, target ProviderRef, retries int) {
+		c.rpc.Call(target.Node, methodPut, putReq{Chunk: ch}, len(ch.Data)+48, c.timeout, func(resp any, err error) {
+			if err != nil && retries > 0 {
+				put(ch, target, retries-1)
+				return
+			}
+			pending--
+			ok, _ := resp.(bool)
+			if err != nil || !ok {
+				failed++
+			} else {
+				pl.Add(ch.ID, target)
+			}
+			check()
+		})
+	}
 	for ci, ch := range chunks {
 		for r := 0; r < replicas; r++ {
 			target := providers[(offset+ci*replicas+r)%len(providers)]
 			pending++
-			ch := ch
-			c.rpc.Call(target.Node, methodPut, putReq{Chunk: ch}, len(ch.Data)+48, c.timeout, func(resp any, err error) {
-				pending--
-				ok, _ := resp.(bool)
-				if err != nil || !ok {
-					failed++
-				} else {
-					pl.Add(ch.ID, target)
-				}
-				check()
-			})
+			put(ch, target, 1)
 		}
 	}
 	if pending == 0 {
@@ -284,7 +293,7 @@ func (c *Client) Audit(m *Manifest, pl *Placement, deadline time.Duration, done 
 			done(report)
 		}
 	}
-	rng := c.rpc.Node().Network().Rand()
+	rng := c.rpc.Node().Rand()
 	for ci, id := range m.Chunks {
 		root := m.ChunkRoots[ci]
 		// Chunk sizes vary; challenge a random leaf within the smallest
@@ -494,7 +503,7 @@ func (c *Client) placeOnFresh(ch Chunk, pl *Placement, pool []ProviderRef, exclu
 			candidates = append(candidates, p)
 		}
 	}
-	rng := c.rpc.Node().Network().Rand()
+	rng := c.rpc.Node().Rand()
 	rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
 	placed := 0
 	var try func(i int)

@@ -120,7 +120,7 @@ func (c *Client) PutSealed(chunkID cryptoutil.Hash, data []byte, holder Provider
 // RepAudit challenges a holder for a random leaf of a sealed replica and
 // verifies it against the expected sealed root within deadline.
 func (c *Client) RepAudit(chunkID cryptoutil.Hash, sealedRoot cryptoutil.Hash, chunkLen int, holder ProviderRef, replica int, deadline time.Duration, done func(ok bool)) {
-	rng := c.rpc.Node().Network().Rand()
+	rng := c.rpc.Node().Rand()
 	leaf := rng.Intn(numProofLeaves(chunkLen))
 	req := repChallengeReq{ChunkID: chunkID, Replica: replica, Leaf: leaf}
 	c.rpc.Call(holder.Node, methodRepChallenge, req, 56, deadline, func(resp any, err error) {

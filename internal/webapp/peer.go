@@ -315,7 +315,7 @@ func (p *Peer) fetchBlobs(m *Manifest, seeders []simnet.NodeID, done func(map[st
 // (usually the author).
 func (p *Peer) shuffled(seeders []simnet.NodeID) []simnet.NodeID {
 	out := append([]simnet.NodeID{}, seeders...)
-	rng := p.rpc.Node().Network().Rand()
+	rng := p.rpc.Node().Rand()
 	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out
 }
