@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: ci fmt build vet test race bench
+.PHONY: ci fmt build vet test race bench cover fuzz
 
 # ci is the gate run before merging: formatting, build, vet, the race
 # detector over the simulator and experiment harnesses (the packages with
-# parallel trial runners), and the full test suite.
-ci: fmt build vet race test
+# parallel trial runners), the full test suite, the per-package coverage
+# report with its simnet floor, and a short fuzz pass over the parser and
+# erasure targets.
+ci: fmt build vet race test cover fuzz
 
 fmt:
 	@files="$$(gofmt -l .)"; \
@@ -24,6 +26,27 @@ race:
 
 test:
 	$(GO) test ./...
+
+# cover emits per-package coverage and enforces the floor on the simulation
+# substrate: internal/simnet and internal/simnet/fault must stay at >= 80%
+# statement coverage — everything else in the repo leans on their fidelity.
+cover:
+	@$(GO) test -cover ./internal/... | tee /tmp/feudalism-cover.txt
+	@awk '$$1 == "ok" && ($$2 == "repro/internal/simnet" || $$2 == "repro/internal/simnet/fault") { \
+		seen++; for (i = 1; i <= NF; i++) if ($$i ~ /%/) { pct = $$i; gsub(/[%]/, "", pct); \
+			if (pct + 0 < 80) { printf "coverage gate: %s at %s%% (floor 80%%)\n", $$2, pct; fail = 1 } } } \
+		END { if (seen != 2) { print "coverage gate: simnet packages missing from report"; fail = 1 } exit fail }' /tmp/feudalism-cover.txt
+
+# fuzz runs every fuzz target for a short burst; the checked-in corpora
+# under testdata/fuzz keep regressions reproducible.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/erasure -run '^$$' -fuzz '^FuzzReedSolomonRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/erasure -run '^$$' -fuzz '^FuzzReconstructArbitraryShards$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cryptoutil -run '^$$' -fuzz '^FuzzParseHash$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cryptoutil -run '^$$' -fuzz '^FuzzParseDHPublic$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cryptoutil -run '^$$' -fuzz '^FuzzSealOpen$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cryptoutil -run '^$$' -fuzz '^FuzzMerkleProveVerify$$' -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x ./...

@@ -180,3 +180,12 @@ func BenchmarkFeasibilitySensitivity(b *testing.B) {
 		emit(b, "e3s", experiments.FeasibilitySensitivity())
 	}
 }
+
+// BenchmarkRecoveryMatrix is experiment X14: the fault-battery recovery
+// matrix — post-fault success and time-to-recover per subsystem × scenario.
+func BenchmarkRecoveryMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RecoveryMatrix(int64(i + 53))
+		emit(b, "x14", t)
+	}
+}

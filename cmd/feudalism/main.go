@@ -1,7 +1,7 @@
 // Command feudalism is the umbrella CLI for the reproduction of "The
 // Barriers to Overthrowing Internet Feudalism" (HotNets-XVI, 2017). It
 // regenerates the paper's three tables and runs the quantitative
-// experiments (X1–X13, plus sensitivity sweeps) described in EXPERIMENTS.md.
+// experiments (X1–X14, plus sensitivity sweeps) described in EXPERIMENTS.md.
 //
 // Usage:
 //
@@ -19,82 +19,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/feasibility"
 	"repro/internal/simnet"
 )
 
-var experimentIDs = []struct {
-	id, desc string
-	run      func(seed int64) fmt.Stringer
-	// multi, when non-nil, is the multi-seed aggregated variant used for
-	// -trials > 1. Deterministic experiments leave it nil.
-	multi func(seeds []int64, workers int) fmt.Stringer
-}{
-	{"naming-throughput", "X1: registration latency/throughput, centralized vs blockchain", func(seed int64) fmt.Stringer {
-		return experiments.NamingSchemes(seed, 20)
-	}, nil},
-	{"fifty-one", "X2: private-branch (51%) attack success vs hashrate share", func(seed int64) fmt.Stringer {
-		return experiments.FiftyOnePercent(seed, 20, 18)
-	}, func(seeds []int64, workers int) fmt.Stringer {
-		return experiments.FiftyOnePercentMulti(seeds, workers, 20, 18)
-	}},
-	{"comm-availability", "X3: message deliverability vs failed servers, four models", func(seed int64) fmt.Stringer {
-		return experiments.CommAvailability(seed, 10, []float64{0, 0.1, 0.2, 0.3, 0.5})
-	}, func(seeds []int64, workers int) fmt.Stringer {
-		return experiments.CommAvailabilityMulti(seeds, workers, 10, []float64{0, 0.1, 0.2, 0.3, 0.5})
-	}},
-	{"social-p2p", "X4: social-P2P delivery vs friend degree and uptime", func(seed int64) fmt.Stringer {
-		return experiments.SocialP2P(seed, 30, []int{2, 4, 8}, []float64{0.5, 0.75, 0.95})
-	}, func(seeds []int64, workers int) fmt.Stringer {
-		return experiments.SocialP2PMulti(seeds, workers, 30, []int{2, 4, 8}, []float64{0.5, 0.75, 0.95})
-	}},
-	{"metadata", "X4b: per-message metadata exposure by model", func(seed int64) fmt.Stringer {
-		return experiments.MetadataExposureTable(10)
-	}, nil},
-	{"storage-durability", "X5: object survival under permanent provider failures", func(seed int64) fmt.Stringer {
-		return experiments.StorageDurability(seed, 20, 30, 6*time.Hour, 0.5)
-	}, func(seeds []int64, workers int) fmt.Stringer {
-		return experiments.StorageDurabilityMulti(seeds, workers, 20, 30, 6*time.Hour, 0.5)
-	}},
-	{"storage-attacks", "X6: proof mechanisms vs provider attacks", func(seed int64) fmt.Stringer {
-		return experiments.StorageAttacks(seed)
-	}, nil},
-	{"incentives", "E2 demo: every Table 2 incentive scheme executed", func(seed int64) fmt.Stringer {
-		return experiments.RunIncentiveDemos(seed)
-	}, nil},
-	{"hostless-web", "X7: website availability, client-server vs hostless", func(seed int64) fmt.Stringer {
-		return experiments.HostlessWeb(seed, 40)
-	}, func(seeds []int64, workers int) fmt.Stringer {
-		return experiments.HostlessWebMulti(seeds, workers, 40)
-	}},
-	{"usenet-load", "X8: per-server cost growth, Usenet flood vs federated-home", func(seed int64) fmt.Stringer {
-		return experiments.UsenetLoad(seed, []int{5, 10, 20, 40}, 20, 512)
-	}, nil},
-	{"abuse", "X9: spam exposure vs moderation coverage, three models", func(seed int64) fmt.Stringer {
-		return experiments.AbuseContainment(seed, 20, []float64{0, 0.25, 0.5, 0.75, 1})
-	}, nil},
-	{"selfish-mining", "X10: revenue share, honest vs selfish withholding strategy", func(seed int64) fmt.Stringer {
-		return experiments.SelfishMining(seed, 12, 150)
-	}, func(seeds []int64, workers int) fmt.Stringer {
-		return experiments.SelfishMiningMulti(seeds, workers, 12, 150)
-	}},
-	{"dht-quality", "X11: DHT lookups on device-grade vs datacenter infrastructure", func(seed int64) fmt.Stringer {
-		return experiments.DHTQuality(seed, 40, 40)
-	}, func(seeds []int64, workers int) fmt.Stringer {
-		return experiments.DHTQualityMulti(seeds, workers, 40, 40)
-	}},
-	{"wot-sybil", "X12: web-of-trust Sybil amplification vs ring size", func(seed int64) fmt.Stringer {
-		return experiments.WoTSybil(seed, 12, []int{10, 50, 200, 1000})
-	}, nil},
-	{"ledger-growth", "X13: endless-ledger growth vs SPV and compaction", func(seed int64) fmt.Stringer {
-		return experiments.LedgerGrowth(seed, 6, 20)
-	}, nil},
-	{"sensitivity", "E3 sensitivity: perturbing the §4 feasibility constants", func(seed int64) fmt.Stringer {
-		return experiments.FeasibilitySensitivity()
-	}, nil},
+// renderTable produces the exact stdout of the three paper-table commands;
+// the golden tests pin this output byte for byte.
+func renderTable(cmd string) (string, bool) {
+	switch cmd {
+	case "table1":
+		return experiments.Table1().String(), true
+	case "table2":
+		return experiments.Table2().String(), true
+	case "table3":
+		return experiments.Table3().String() +
+			fmt.Sprintf("\nBreak-even redundancy before the storage conclusion flips: %.2fx\n",
+				feasibility.BreakEvenRedundancy(feasibility.PaperCloud(), feasibility.PaperDevices())), true
+	}
+	return "", false
 }
 
 func main() {
@@ -108,19 +52,14 @@ func main() {
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
-	case "table1":
-		fmt.Print(experiments.Table1())
-	case "table2":
-		fmt.Print(experiments.Table2())
-	case "table3":
-		fmt.Print(experiments.Table3())
-		fmt.Printf("\nBreak-even redundancy before the storage conclusion flips: %.2fx\n",
-			feasibility.BreakEvenRedundancy(feasibility.PaperCloud(), feasibility.PaperDevices()))
+	case "table1", "table2", "table3":
+		out, _ := renderTable(cmd)
+		fmt.Print(out)
 	case "zooko":
 		fmt.Print(experiments.ZookoTable())
 	case "list":
-		for _, e := range experimentIDs {
-			fmt.Printf("  %-20s %s\n", e.id, e.desc)
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-20s %s\n", e.ID, e.Desc)
 		}
 	case "experiment":
 		if fs.NArg() < 1 {
@@ -134,18 +73,16 @@ func main() {
 		trials := rest.Int("trials", 1, "number of independent seeds to aggregate over")
 		workers := rest.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		_ = rest.Parse(fs.Args()[1:])
-		for _, e := range experimentIDs {
-			if e.id == id {
-				if *trials > 1 && e.multi != nil {
-					fmt.Print(e.multi(simnet.Seeds(*seed2, *trials), *workers))
-				} else {
-					fmt.Print(e.run(*seed2))
-				}
-				return
-			}
+		e, ok := experiments.Find(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; see `feudalism list`\n", id)
+			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; see `feudalism list`\n", id)
-		os.Exit(2)
+		if *trials > 1 && e.Multi != nil {
+			fmt.Print(e.Multi(simnet.Seeds(*seed2, *trials), *workers))
+		} else {
+			fmt.Print(e.Run(*seed2))
+		}
 	case "all":
 		fmt.Print(experiments.Table1())
 		fmt.Println()
@@ -154,9 +91,9 @@ func main() {
 		fmt.Print(experiments.Table3())
 		fmt.Println()
 		fmt.Print(experiments.ZookoTable())
-		for _, e := range experimentIDs {
+		for _, e := range experiments.Registry() {
 			fmt.Println()
-			fmt.Print(e.run(*seed))
+			fmt.Print(e.Run(*seed))
 		}
 	default:
 		usage()

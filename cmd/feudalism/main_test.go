@@ -1,0 +1,48 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files instead of diffing against them")
+
+// TestTableGoldens pins the byte-exact output of the three paper-table
+// commands to testdata/*.golden. The tables are deterministic (no seed, no
+// simulation), so any diff is a real change to a published artifact —
+// regenerate deliberately with `go test ./cmd/feudalism -update`.
+func TestTableGoldens(t *testing.T) {
+	for _, cmd := range []string{"table1", "table2", "table3"} {
+		cmd := cmd
+		t.Run(cmd, func(t *testing.T) {
+			out, ok := renderTable(cmd)
+			if !ok || out == "" {
+				t.Fatalf("renderTable(%q) produced nothing", cmd)
+			}
+			golden := filepath.Join("testdata", cmd+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if out != string(want) {
+				t.Errorf("%s output drifted from %s.\ngot:\n%s\nwant:\n%s\n(run `go test ./cmd/feudalism -update` if the change is intended)",
+					cmd, golden, out, want)
+			}
+		})
+	}
+}
+
+// TestRenderTableUnknown: non-table commands are not rendered here.
+func TestRenderTableUnknown(t *testing.T) {
+	if _, ok := renderTable("zooko"); ok {
+		t.Error("renderTable accepted a non-table command")
+	}
+}

@@ -1,0 +1,59 @@
+package chain
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/simnet/fault"
+)
+
+// Conformance: the chain subsystem is driven through the canonical fault
+// battery (internal/simnet/fault) and must recover once faults clear. The
+// invariants:
+//
+//   - Reconvergence: after the recovery window every miner reports the same
+//     head hash — partitions fork the chain, heals must reorg it back.
+//   - Liveness: the chain keeps growing despite the faults.
+//   - No panics on garbage: corrupt-10pct delivers unparseable payloads to
+//     every handler.
+func TestChainRecoveryConformance(t *testing.T) {
+	const (
+		seed    = 401
+		nMiners = 5
+		horizon = 30 * time.Minute
+	)
+	for _, sc := range fault.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			nw := simnet.New(seed)
+			miners := buildMiners(t, nw, nMiners, 100, minerCfg())
+			eligible := make([]simnet.NodeID, nMiners)
+			for i, m := range miners {
+				eligible[i] = m.Node().ID()
+			}
+			sc.Build(seed, eligible, horizon).Apply(nw)
+			for _, m := range miners {
+				m.Start()
+			}
+			// Run through the fault window and the fault-free tail, then an
+			// extra convergence margin so the last blocks propagate.
+			nw.Run(horizon + 5*time.Minute)
+			for _, m := range miners {
+				m.Stop()
+			}
+			nw.RunAll()
+
+			head := miners[0].Chain().HeadHash()
+			for i, m := range miners {
+				if got := m.Chain().HeadHash(); got != head {
+					t.Errorf("miner %d head %s != miner 0 head %s: chain did not reconverge",
+						i, got.Short(), head.Short())
+				}
+			}
+			if h := miners[0].Chain().Height(); h < 30 {
+				t.Errorf("height %d after %v; chain stalled under %s", h, horizon, sc.Name)
+			}
+		})
+	}
+}

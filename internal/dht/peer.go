@@ -270,8 +270,8 @@ func (p *Peer) LookupNode(target Key, done func([]Contact)) {
 }
 
 func (p *Peer) scheduleRepublish() {
-	nw := p.Node().Network()
-	nw.After(p.cfg.RepublishInterval, func() {
+	// Node-local timer: a skewed device clock republishes early or late.
+	p.Node().After(p.cfg.RepublishInterval, func() {
 		if p.Node().Up() {
 			keys := make([]Key, 0, len(p.published))
 			for key := range p.published {

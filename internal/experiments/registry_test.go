@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryIDsUniqueAndComplete: ids are unique, every entry has a
+// description and both runners, and the two known deterministic-only
+// lookups resolve through Find.
+func TestRegistryIDsUniqueAndComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if e.ID == "" || e.Desc == "" {
+			t.Errorf("entry %+v missing id or description", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Tiny == nil {
+			t.Errorf("%s: Run and Tiny must both be set", e.ID)
+		}
+	}
+	for _, id := range []string{"naming-throughput", "x14", "sensitivity"} {
+		if _, ok := Find(id); !ok {
+			t.Errorf("Find(%q) = not found", id)
+		}
+	}
+	if _, ok := Find("no-such-experiment"); ok {
+		t.Error("Find of unknown id succeeded")
+	}
+}
+
+// TestRegistryTinyRuns: every registered experiment runs at tiny scale and
+// produces a rendered table with at least a header, a separator, and one
+// data row.
+func TestRegistryTinyRuns(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out := e.Tiny(7).String()
+			lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+			if len(lines) < 3 {
+				t.Fatalf("tiny output too short (%d lines):\n%s", len(lines), out)
+			}
+			if strings.TrimSpace(out) == "" {
+				t.Fatal("tiny output empty")
+			}
+		})
+	}
+}
+
+// TestRegistryTinyDeterministic: the same seed renders byte-identical
+// output for every entry — the reproducibility contract every experiment
+// inherits from simnet.
+func TestRegistryTinyDeterministic(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if a, b := e.Tiny(11).String(), e.Tiny(11).String(); a != b {
+				t.Errorf("same seed rendered different tables:\n%s\nvs\n%s", a, b)
+			}
+		})
+	}
+}

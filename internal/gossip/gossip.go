@@ -168,11 +168,12 @@ func (m *Member) onPush(msg simnet.Message) {
 }
 
 func (m *Member) scheduleAntiEntropy() {
-	nw := m.node.Network()
-	// Jitter the period ±25 % so members don't synchronize.
+	// Jitter the period ±25 % so members don't synchronize. The timer runs
+	// on the node's local clock, so skewed members drift apart under fault
+	// plans.
 	period := m.cfg.AntiEntropyInterval
 	jit := time.Duration(m.node.Rand().Int63n(int64(period)/2)) - period/4
-	nw.After(period+jit, func() {
+	m.node.After(period+jit, func() {
 		if m.node.Up() && len(m.peers) > 0 {
 			peer := m.peers[m.node.Rand().Intn(len(m.peers))]
 			if peer != m.node.ID() {

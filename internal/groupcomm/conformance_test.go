@@ -1,0 +1,81 @@
+package groupcomm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/simnet/fault"
+)
+
+// socialConformanceRun drives a fully-befriended social mesh through one
+// fault scenario while the anchor keeps posting, and returns the fraction
+// of (peer, post) pairs delivered by the end. Periodic friend-sync is the
+// repair path: peers that were down or cut off must pull missed posts.
+func socialConformanceRun(t testing.TB, seed int64, sc fault.Scenario) float64 {
+	t.Helper()
+	const (
+		nPeers  = 10
+		nPosts  = 8
+		horizon = 30 * time.Minute
+	)
+	nw := simnet.New(seed)
+	peers := make([]*SocialPeer, nPeers)
+	for i := range peers {
+		peers[i] = NewSocialPeer(nw.AddNode(), userName(i), 30*time.Second)
+	}
+	for i, p := range peers {
+		for j, q := range peers {
+			if i != j {
+				p.Befriend(q.User(), q.Node().ID())
+			}
+		}
+	}
+
+	// Peer 0 is the anchor author; the rest are fault-eligible.
+	eligible := make([]simnet.NodeID, 0, nPeers-1)
+	for _, p := range peers[1:] {
+		eligible = append(eligible, p.Node().ID())
+	}
+	sc.Build(seed, eligible, horizon).Apply(nw)
+
+	for i := 0; i < nPosts; i++ {
+		i := i
+		nw.Schedule(time.Duration(i)*horizon/(2*nPosts), func() {
+			peers[0].Publish("lobby", []byte(fmt.Sprintf("post %d", i)))
+		})
+	}
+	nw.Run(horizon)
+
+	author := peers[0].User()
+	have, total := 0, 0
+	for _, p := range peers[1:] {
+		total += nPosts
+		have += len(p.PostsBy(author))
+	}
+	return float64(have) / float64(total)
+}
+
+// TestSocialRecoveryConformance: posts published while friends were down,
+// partitioned, or on garbage links must all be delivered by the end of the
+// run — eventual delivery via sync is the invariant.
+func TestSocialRecoveryConformance(t *testing.T) {
+	for _, sc := range fault.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if got := socialConformanceRun(t, 404, sc); got < 1.0 {
+				t.Errorf("post delivery ratio %.3f after recovery window, want 1.0", got)
+			}
+		})
+	}
+}
+
+// TestSocialConformanceDeterministic: the delivery ratio is a pure function
+// of the seed.
+func TestSocialConformanceDeterministic(t *testing.T) {
+	sc, _ := fault.ByName("flash-partition")
+	if a, b := socialConformanceRun(t, 99, sc), socialConformanceRun(t, 99, sc); a != b {
+		t.Errorf("same seed gave different ratios: %v vs %v", a, b)
+	}
+}

@@ -163,10 +163,10 @@ func (p *SocialPeer) onPost(msg simnet.Message) {
 }
 
 func (p *SocialPeer) scheduleSync() {
-	nw := p.node.Network()
+	// Node-local timer, so a skewed device clock syncs early or late.
 	period := p.syncEvery
 	jit := time.Duration(p.node.Rand().Int63n(int64(period)/2)) - period/4
-	nw.After(period+jit, func() {
+	p.node.After(period+jit, func() {
 		if p.node.Up() && len(p.addrs) > 0 {
 			// Pick one random friend (from a sorted list, for determinism)
 			// and exchange digests.

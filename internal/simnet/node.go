@@ -14,6 +14,10 @@ type Node struct {
 	profile LinkProfile
 	rng     *rand.Rand
 	up      bool
+	// clockRate skews the node's local timers: rate r means the node's
+	// clock runs r× virtual time, so a local timer of d fires after d/r of
+	// network time. Zero means 1 (no skew).
+	clockRate float64
 
 	uplinkFree   time.Duration
 	downlinkFree time.Duration
@@ -62,6 +66,45 @@ func (n *Node) SetProfile(p LinkProfile) { n.profile = p }
 
 // Up reports whether the node is currently alive.
 func (n *Node) Up() bool { return n.up }
+
+// SetClockSkew sets the node's clock-rate multiplier: rate 1 is a perfect
+// clock, 1.1 runs 10% fast (local timers fire early in network time), 0.9
+// runs 10% slow. Rates <= 0 reset to 1. Protocol layers that schedule
+// periodic work through Node.After / Node.AfterTimer inherit the skew;
+// fault plans use this to model drifting device clocks.
+func (n *Node) SetClockSkew(rate float64) {
+	if rate <= 0 {
+		rate = 1
+	}
+	n.clockRate = rate
+}
+
+// ClockSkew returns the node's clock-rate multiplier (1 when unset).
+func (n *Node) ClockSkew() float64 {
+	if n.clockRate == 0 {
+		return 1
+	}
+	return n.clockRate
+}
+
+// skewed converts a duration on the node's local clock into network time.
+func (n *Node) skewed(d time.Duration) time.Duration {
+	if r := n.clockRate; r != 0 && r != 1 {
+		return time.Duration(float64(d) / r)
+	}
+	return d
+}
+
+// After runs fn after d of the node's *local* clock time — network time
+// d/rate under clock skew. Protocol timers (republish intervals, gossip
+// rounds, audit epochs, RPC timeouts) must be scheduled through the node,
+// not the network, so fault plans can skew them.
+func (n *Node) After(d time.Duration, fn func()) { n.nw.After(n.skewed(d), fn) }
+
+// AfterTimer is After returning a cancellable Timer handle.
+func (n *Node) AfterTimer(d time.Duration, fn func()) Timer {
+	return n.nw.AfterTimer(n.skewed(d), fn)
+}
 
 // Handle registers a handler for messages of the given kind, replacing any
 // existing one.

@@ -1,0 +1,86 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression tests pinning the Partition/Heal drop semantics documented on
+// Network.Partition: sends while partitioned are dropped at send time and
+// are not revived by a heal, sends after a heal deliver, and an in-flight
+// message outlives a partition that appears and heals before its arrival.
+
+// TestPostHealSendsDeliver: after Heal, traffic flows again — nothing about
+// the partition lingers in the delivery path.
+func TestPostHealSendsDeliver(t *testing.T) {
+	nw := New(11)
+	a, b := nw.AddNode(), nw.AddNode()
+	got := 0
+	b.Handle("m", func(Message) { got++ })
+
+	nw.Partition(nil, []NodeID{b.ID()})
+	if a.Send(b.ID(), "m", nil, 8) {
+		t.Fatal("send across partition claimed to schedule delivery")
+	}
+	nw.RunAll()
+	if got != 0 {
+		t.Fatalf("partitioned send delivered (%d)", got)
+	}
+
+	nw.Heal()
+	if !a.Send(b.ID(), "m", nil, 8) {
+		t.Fatal("post-heal send failed to schedule")
+	}
+	nw.RunAll()
+	if got != 1 {
+		t.Fatalf("post-heal deliveries = %d, want 1", got)
+	}
+	// The send dropped while partitioned stays lost: senders must retry.
+	if nw.Trace().Dropped != 1 {
+		t.Fatalf("dropped = %d, want exactly the partitioned send", nw.Trace().Dropped)
+	}
+}
+
+// TestInFlightMessageSurvivesHealedPartition: a message launched before a
+// partition appears, whose partition heals before the arrival time, must
+// deliver — only the partition state at delivery time matters.
+func TestInFlightMessageSurvivesHealedPartition(t *testing.T) {
+	nw := New(12)
+	// 100ms one-way latency each side gives the message 200ms in flight.
+	p := LinkProfile{Latency: 100 * time.Millisecond}
+	a, b := nw.AddNodeWithProfile(p), nw.AddNodeWithProfile(p)
+	got := 0
+	b.Handle("m", func(Message) { got++ })
+
+	if !a.Send(b.ID(), "m", nil, 8) {
+		t.Fatal("send failed")
+	}
+	nw.Schedule(50*time.Millisecond, func() { nw.Partition(nil, []NodeID{b.ID()}) })
+	nw.Schedule(150*time.Millisecond, func() { nw.Heal() })
+	nw.RunAll()
+	if got != 1 {
+		t.Fatalf("in-flight message dropped despite heal before arrival (got %d)", got)
+	}
+}
+
+// TestInFlightMessageDroppedWhilePartitioned: the same message is dropped
+// at delivery time when the partition still stands at its arrival.
+func TestInFlightMessageDroppedWhilePartitioned(t *testing.T) {
+	nw := New(13)
+	p := LinkProfile{Latency: 100 * time.Millisecond}
+	a, b := nw.AddNodeWithProfile(p), nw.AddNodeWithProfile(p)
+	got := 0
+	b.Handle("m", func(Message) { got++ })
+
+	if !a.Send(b.ID(), "m", nil, 8) {
+		t.Fatal("send failed")
+	}
+	nw.Schedule(50*time.Millisecond, func() { nw.Partition(nil, []NodeID{b.ID()}) })
+	nw.RunAll()
+	if got != 0 {
+		t.Fatalf("message delivered across a standing partition")
+	}
+	if nw.Trace().Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 in-flight drop", nw.Trace().Dropped)
+	}
+}

@@ -103,7 +103,9 @@ func (r *RPCNode) Call(to NodeID, method string, req any, reqSize int, timeout t
 	pc := &pendingCall{done: done}
 	r.pending[id] = pc
 	r.n.Send(to, rpcKind, &rpcEnvelope{id: id, method: method, payload: req}, reqSize+64)
-	pc.timeout = r.n.nw.AfterTimer(timeout, func() {
+	// The timeout runs on the caller's local clock: a fast-skewed node
+	// gives up on its peers early, a slow one hangs on.
+	pc.timeout = r.n.AfterTimer(timeout, func() {
 		if pc.finished {
 			return
 		}

@@ -95,6 +95,53 @@ func MobileProfile() LinkProfile {
 	return LinkProfile{Latency: 80 * time.Millisecond, Jitter: 40 * time.Millisecond, UplinkBps: 1e6, DownlinkBps: 4e6, Loss: 0.02}
 }
 
+// LinkFault describes in-flight message mangling applied network-wide, on
+// top of the per-node LinkProfile loss model. The zero value injects
+// nothing and costs nothing (no RNG draws), so networks that never set a
+// fault keep their historical event streams bit for bit.
+//
+// Faults are decided per message at send time from the network-level RNG
+// stream:
+//
+//   - Corrupt: with this probability the payload arrives wrapped in
+//     Corrupted, so receivers' type assertions fail the way a
+//     checksum-mangled frame would fail to parse. Handlers must tolerate
+//     (not panic on) such garbage; the conformance suite asserts they do.
+//   - Duplicate: with this probability a second copy of the message is
+//     delivered HoldBack-uniform later, exercising at-most-once and
+//     idempotency handling.
+//   - Reorder: with this probability the message is held back an extra
+//     uniform [0, HoldBack) beyond its computed arrival, letting later
+//     sends overtake it.
+type LinkFault struct {
+	Corrupt   float64
+	Duplicate float64
+	Reorder   float64
+	// HoldBack bounds the extra delay for reordered messages and duplicate
+	// copies. Zero defaults to 50ms — enough to invert delivery order
+	// against datacenter RTTs.
+	HoldBack time.Duration
+}
+
+func (f LinkFault) active() bool { return f.Corrupt > 0 || f.Duplicate > 0 || f.Reorder > 0 }
+
+func (f LinkFault) holdBack() time.Duration {
+	if f.HoldBack <= 0 {
+		return 50 * time.Millisecond
+	}
+	return f.HoldBack
+}
+
+// Corrupted wraps the payload of a message garbled in flight by a LinkFault.
+// Receivers that type-assert their expected payload type see the assertion
+// fail and should discard the message; protocol code must never assume
+// payloads are well-formed once faults are in play.
+type Corrupted struct {
+	// Original is the payload the sender transmitted, kept for debugging
+	// and tests; handlers should treat the message as unparseable garbage.
+	Original any
+}
+
 // Network is a simulated network of nodes sharing one virtual clock. It
 // embeds the event engine, so it satisfies Scheduler.
 type Network struct {
@@ -106,6 +153,7 @@ type Network struct {
 	// partition maps node -> group id; nodes in different groups cannot
 	// exchange messages. Empty map means no partition.
 	partition map[NodeID]int
+	fault     LinkFault
 	trace     Trace
 	// latency holds per-message-kind delivery latency histograms, created
 	// lazily on first delivery of each kind.
@@ -235,6 +283,15 @@ func (nw *Network) RunAll() {
 
 // Partition splits the network into groups; messages only flow within a
 // group. Nodes not listed fall into group 0 alongside the first group.
+//
+// Drop semantics: a message sent across a partition boundary is dropped at
+// send time (Send returns false) and never enters the event queue, so
+// healing cannot revive it — senders must retry after the heal. A message
+// that was already in flight when the partition appeared is re-checked at
+// delivery time: it is dropped if its endpoints are then in different
+// groups, and delivered normally if the partition has healed (or never
+// separated them) by its arrival. Both kinds of drop are counted in the
+// Trace.
 func (nw *Network) Partition(groups ...[]NodeID) {
 	nw.partition = map[NodeID]int{}
 	for gi, g := range groups {
@@ -244,8 +301,17 @@ func (nw *Network) Partition(groups ...[]NodeID) {
 	}
 }
 
-// Heal removes any partition.
+// Heal removes any partition. Messages sent after the heal flow normally,
+// and messages still in flight across the former boundary deliver; messages
+// dropped at send time while partitioned stay lost (see Partition).
 func (nw *Network) Heal() { nw.partition = map[NodeID]int{} }
+
+// SetLinkFault installs f as the network-wide in-flight fault model;
+// the zero LinkFault turns injection off.
+func (nw *Network) SetLinkFault(f LinkFault) { nw.fault = f }
+
+// LinkFault returns the current fault model.
+func (nw *Network) LinkFault() LinkFault { return nw.fault }
 
 func (nw *Network) samePartition(a, b NodeID) bool {
 	if len(nw.partition) == 0 {
@@ -278,6 +344,10 @@ func deliverEvent(arg any) {
 		nw.trace.Dropped++
 		dst.trace.Dropped++
 		return
+	}
+	if _, garbled := msg.Payload.(Corrupted); garbled {
+		nw.trace.Corrupted++
+		dst.trace.Corrupted++
 	}
 	nw.trace.Delivered++
 	nw.trace.BytesDelivered += int64(msg.Size)
@@ -368,6 +438,29 @@ func (nw *Network) Send(msg Message) bool {
 		dst.downlinkFree = arrive
 	}
 
+	// In-flight fault injection. All draws are guarded by their probability,
+	// so a zero LinkFault consumes no randomness and perturbs nothing.
+	if f := nw.fault; f.active() {
+		if f.Corrupt > 0 && nw.rng.Float64() < f.Corrupt {
+			msg.Payload = Corrupted{Original: msg.Payload}
+		}
+		if f.Reorder > 0 && nw.rng.Float64() < f.Reorder {
+			arrive += time.Duration(nw.rng.Int63n(int64(f.holdBack())))
+			nw.trace.Reordered++
+		}
+		if f.Duplicate > 0 && nw.rng.Float64() < f.Duplicate {
+			// The duplicate is a fault artifact, not a retransmission: it
+			// skips link accounting and lands an extra hold-back later.
+			nw.trace.Duplicated++
+			dup, ok := nw.deliveryPool.Get().(*delivery)
+			if !ok {
+				dup = new(delivery)
+			}
+			dup.nw, dup.msg, dup.sentAt = nw, msg, nw.now
+			nw.ScheduleCall(arrive+time.Duration(nw.rng.Int63n(int64(f.holdBack()))), deliverEvent, dup)
+		}
+	}
+
 	d, ok := nw.deliveryPool.Get().(*delivery)
 	if !ok {
 		d = new(delivery)
@@ -390,6 +483,12 @@ type Trace struct {
 	Unhandled      int64
 	BytesSent      int64
 	BytesDelivered int64
+	// Fault-injection counters (see LinkFault). Corrupted and Duplicated
+	// deliveries are also counted in Delivered; Reordered counts messages
+	// held back, which still deliver exactly once.
+	Corrupted  int64
+	Duplicated int64
+	Reordered  int64
 }
 
 // DeliveryRate returns Delivered/Sent, or 0 when nothing was sent.

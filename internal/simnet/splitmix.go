@@ -49,6 +49,12 @@ func (s *SplitMix64) Int63() int64 { return int64(s.Uint64() >> 1) }
 // Seed implements rand.Source.
 func (s *SplitMix64) Seed(seed int64) { s.state = uint64(seed) }
 
+// Mix64 is one stateless SplitMix64 output step, used to whiten raw seeds
+// before they pick a stream. Derived packages (e.g. simnet/fault) use it to
+// split one user-facing seed into independent sub-streams without landing
+// on SplitMix64's golden-ratio lattice.
+func Mix64(x uint64) uint64 { return mix64(x) }
+
 // mix64 is one stateless SplitMix64 output step, used to whiten raw seeds
 // before they pick a stream.
 func mix64(x uint64) uint64 {

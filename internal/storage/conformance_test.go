@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/simnet/fault"
+)
+
+// storageConformanceRun uploads a file before the scenario starts, drives
+// the provider fleet through the fault window, and checks post-recovery
+// health: audits must pass and the download must round-trip. Returns
+// (auditPassRatio, downloadOK).
+func storageConformanceRun(t testing.TB, seed int64, sc fault.Scenario) (float64, bool) {
+	t.Helper()
+	const horizon = 30 * time.Minute
+	nw, client, providers := storageWorld(t, seed, 6, 1<<20)
+	refs := make([]ProviderRef, len(providers))
+	eligible := make([]simnet.NodeID, len(providers))
+	for i, p := range providers {
+		refs[i] = p.Ref()
+		eligible[i] = p.Node().ID()
+	}
+
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	var (
+		manifest  *Manifest
+		placement *Placement
+	)
+	client.Upload(data, 512, refs, 3, func(m *Manifest, pl *Placement, err error) {
+		if err != nil {
+			t.Fatalf("upload: %v", err)
+		}
+		manifest, placement = m, pl
+	})
+	nw.Run(nw.Now() + time.Minute)
+	if manifest == nil {
+		t.Fatal("upload did not complete in the setup window")
+	}
+
+	// The client is the anchor; every provider is fault-eligible. The
+	// scenario clock starts after the upload has settled.
+	start := nw.Now()
+	sc.Build(seed, eligible, horizon).ApplyAt(nw, start)
+	nw.Run(start + horizon)
+
+	// Post-recovery: all providers are back up, so every challenge must be
+	// answered from intact storage.
+	var report *AuditReport
+	client.Audit(manifest, placement, 10*time.Second, func(r *AuditReport) { report = r })
+	nw.Run(nw.Now() + time.Minute)
+	if report == nil || len(report.Results) == 0 {
+		t.Fatal("audit did not complete")
+	}
+
+	var got []byte
+	var downloadErr error
+	client.Download(manifest, placement, func(b []byte, err error) { got, downloadErr = b, err })
+	nw.Run(nw.Now() + time.Minute)
+
+	ratio := float64(report.Passed()) / float64(len(report.Results))
+	ok := downloadErr == nil && bytes.Equal(got, data)
+	return ratio, ok
+}
+
+// TestStorageRecoveryConformance: after the fault window closes, audits
+// must pass in full and the original bytes must still be downloadable —
+// crashes and partitions must not silently lose replicated chunks.
+func TestStorageRecoveryConformance(t *testing.T) {
+	for _, sc := range fault.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			ratio, ok := storageConformanceRun(t, 405, sc)
+			if ratio < 1.0 {
+				t.Errorf("audit pass ratio %.3f after recovery window, want 1.0", ratio)
+			}
+			if !ok {
+				t.Error("post-recovery download failed or returned wrong bytes")
+			}
+		})
+	}
+}
+
+// TestStorageConformanceDeterministic: the audit outcome is a pure function
+// of the seed.
+func TestStorageConformanceDeterministic(t *testing.T) {
+	sc, _ := fault.ByName("rolling-churn")
+	a1, ok1 := storageConformanceRun(t, 55, sc)
+	a2, ok2 := storageConformanceRun(t, 55, sc)
+	if a1 != a2 || ok1 != ok2 {
+		t.Errorf("same seed diverged: (%v,%v) vs (%v,%v)", a1, ok1, a2, ok2)
+	}
+}

@@ -71,8 +71,8 @@ func (cu *Custodian) Start() {
 func (cu *Custodian) Stop() { cu.running = false }
 
 func (cu *Custodian) scheduleEpoch() {
-	nw := cu.client.Node().Network()
-	nw.After(cu.epoch, func() {
+	// Node-local timer: audit epochs drift with the custodian's clock skew.
+	cu.client.Node().After(cu.epoch, func() {
 		if !cu.running {
 			return
 		}

@@ -154,7 +154,6 @@ func (c *Client) SpacetimeAudit(chunkID, sealedRoot cryptoutil.Hash, chunkLen in
 		done(SpacetimeResult{Continuous: true})
 		return
 	}
-	nw := c.rpc.Node().Network()
 	res := SpacetimeResult{Total: epochs}
 	var epoch func(i int)
 	epoch = func(i int) {
@@ -167,7 +166,7 @@ func (c *Client) SpacetimeAudit(chunkID, sealedRoot cryptoutil.Hash, chunkLen in
 				done(res)
 				return
 			}
-			nw.After(interval, func() { epoch(i + 1) })
+			c.rpc.Node().After(interval, func() { epoch(i + 1) })
 		})
 	}
 	epoch(0)

@@ -1,0 +1,107 @@
+package webapp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/dht"
+	"repro/internal/simnet"
+	"repro/internal/simnet/fault"
+)
+
+// webappConformanceRun publishes a hostless site, lets a few early visitors
+// become seeders, drives the visitor fleet through a fault scenario, and
+// returns the post-recovery visit success rate. The tracker and the author
+// are anchors; every visitor is fault-eligible.
+func webappConformanceRun(t testing.TB, seed int64, sc fault.Scenario) float64 {
+	t.Helper()
+	const (
+		nVisitors = 8
+		horizon   = 40 * time.Minute
+	)
+	nw := simnet.New(seed)
+	tracker := NewTracker(nw.AddNode())
+	authorNode := nw.AddNodeWithProfile(simnet.HomeBroadbandProfile())
+	authorDHT := dht.NewPeer(authorNode, dht.Key{}, dht.Config{})
+	author := NewPeer(authorNode, authorDHT, tracker.Node().ID(), 30*time.Second)
+	owner, err := cryptoutil.GenerateKeyPair(nw.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	visitors := make([]*Peer, nVisitors)
+	eligible := make([]simnet.NodeID, nVisitors)
+	for i := range visitors {
+		node := nw.AddNodeWithProfile(simnet.HomeBroadbandProfile())
+		d := dht.NewPeer(node, dht.Key{}, dht.Config{})
+		d.Bootstrap(authorDHT.Contact(), nil)
+		visitors[i] = NewPeer(node, d, tracker.Node().ID(), 30*time.Second)
+		eligible[i] = node.ID()
+	}
+	nw.Run(2 * time.Minute) // settle DHT routing tables
+
+	files := map[string][]byte{
+		"index.html": []byte("<html><body>conformance</body></html>"),
+		"app.js":     make([]byte, 2048),
+	}
+	var site cryptoutil.Hash
+	author.Publish(owner, 1, files, cryptoutil.Hash{}, func(m *Manifest) { site = m.Site })
+	nw.Run(nw.Now() + time.Minute)
+	if site.IsZero() {
+		t.Fatal("publish did not complete in the setup window")
+	}
+
+	// A couple of early visits so the bundle is seeded beyond the author
+	// before the adversity starts.
+	for _, p := range visitors[:2] {
+		p.Visit(site, func(map[string][]byte, error) {})
+	}
+	nw.Run(nw.Now() + time.Minute)
+
+	start := nw.Now()
+	sc.Build(seed, eligible, horizon).ApplyAt(nw, start)
+	// Mid-run visits keep the swarm busy during the fault window; their
+	// outcome is not asserted — only recovery is.
+	for i, p := range visitors {
+		p := p
+		nw.Schedule(start+time.Duration(i+1)*horizon/16, func() {
+			p.Visit(site, func(map[string][]byte, error) {})
+		})
+	}
+	nw.Run(start + horizon)
+
+	// Post-recovery probe: every visitor (all back up) fetches the site.
+	ok := 0
+	for _, p := range visitors {
+		good := false
+		p.Visit(site, func(fs map[string][]byte, err error) { good = err == nil && len(fs) == len(files) })
+		nw.Run(nw.Now() + time.Minute)
+		if good {
+			ok++
+		}
+	}
+	return float64(ok) / float64(nVisitors)
+}
+
+// TestWebappRecoveryConformance: once faults clear, every visitor must be
+// able to fetch the full site again.
+func TestWebappRecoveryConformance(t *testing.T) {
+	for _, sc := range fault.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if got := webappConformanceRun(t, 406, sc); got < 1.0 {
+				t.Errorf("post-recovery visit success %.3f, want 1.0", got)
+			}
+		})
+	}
+}
+
+// TestWebappConformanceDeterministic: the success rate is a pure function
+// of the seed.
+func TestWebappConformanceDeterministic(t *testing.T) {
+	sc, _ := fault.ByName("lossy-edge")
+	if a, b := webappConformanceRun(t, 66, sc), webappConformanceRun(t, 66, sc); a != b {
+		t.Errorf("same seed gave different rates: %v vs %v", a, b)
+	}
+}
