@@ -1,0 +1,62 @@
+// Command benchdiff compares two BENCH_*.json files produced by
+// `feudalism bench -json` and exits nonzero when the new file regresses
+// relative to the old one.
+//
+// Usage:
+//
+//	benchdiff [-tol F] [-time-tol F] old.json new.json
+//
+// A metric regresses when |new-old| > tol*|old| (a metric that was zero
+// must stay exactly zero); a missing experiment or metric in the new file
+// is always a regression, while extra ones are fine — adding coverage
+// should never fail the gate. Wall time is compared only when -time-tol
+// is positive and both files carry a timing section, and only in the slow
+// direction. scripts/ci.sh runs this as the merge gate against the
+// checked-in BENCH_baseline.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	tol := flag.Float64("tol", 0, "relative tolerance per metric (0 = exact match)")
+	timeTol := flag.Float64("time-tol", 0, "relative wall-time slowdown tolerance (0 = ignore timing)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol F] [-time-tol F] old.json new.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldFile, err := obs.LoadBenchFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newFile, err := obs.LoadBenchFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	problems := obs.Compare(oldFile, newFile, obs.Tolerances{Metric: *tol, Time: *timeTol})
+	if len(problems) == 0 {
+		fmt.Printf("benchdiff: OK (%d experiments, tol=%g time-tol=%g)\n",
+			len(newFile.Experiments), *tol, *timeTol)
+		return
+	}
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "REGRESSION %s\n", p)
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) between %s and %s\n",
+		len(problems), flag.Arg(0), flag.Arg(1))
+	os.Exit(1)
+}

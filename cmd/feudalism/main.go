@@ -9,16 +9,27 @@
 //	feudalism experiment <id> [-seed N] [-trials T] [-workers W]
 //	feudalism all [-seed N]                       # everything, in order
 //	feudalism list                                # available experiment ids
+//	feudalism bench [-json out.json] [-seed N] [-trials T] [-workers W]
+//	                [-scale full|tiny] [-timing]  # machine-readable bench
 //
 // With -trials T > 1 the stochastic experiments run T independent seeds in
 // parallel (simnet.Trials) and report mean [p50 p95] per cell instead of a
 // single draw; deterministic experiments ignore the flag.
+//
+// `bench` runs every registered experiment at fixed seeds and emits the
+// BENCH_*.json format (see EXPERIMENTS.md): per experiment, the merged
+// observability snapshot — protocol counters like dht.lookup.hops,
+// substrate traffic, span histograms — plus wall time and allocations when
+// -timing is set. Without -timing the bytes are deterministic: identical
+// across repeated runs and across -workers counts. cmd/benchdiff compares
+// two such files; scripts/ci.sh uses the pair as the merge gate.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/feasibility"
@@ -47,6 +58,10 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	if cmd == "bench" {
+		runBenchCmd(os.Args[2:])
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	seed := fs.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
 	_ = fs.Parse(os.Args[2:])
@@ -101,6 +116,39 @@ func main() {
 	}
 }
 
+// runBenchCmd implements `feudalism bench`. It has its own flag set (the
+// generic -seed parser would reject -scale etc.), so it is dispatched
+// before the main switch.
+func runBenchCmd(args []string) {
+	bfs := flag.NewFlagSet("bench", flag.ExitOnError)
+	bseed := bfs.Int64("seed", 42, "base simulation seed")
+	btrials := bfs.Int("trials", 1, "independent seeds for experiments with a Multi variant")
+	bworkers := bfs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS); output is identical at any count")
+	bscale := bfs.String("scale", "full", "experiment sizes: full or tiny")
+	btiming := bfs.Bool("timing", false, "record wall time and allocations (machine-dependent; breaks byte-reproducibility)")
+	bout := bfs.String("json", "", "write JSON to this file instead of stdout")
+	_ = bfs.Parse(args)
+	if *bscale != "full" && *bscale != "tiny" {
+		fmt.Fprintf(os.Stderr, "bench: -scale must be full or tiny, got %q\n", *bscale)
+		os.Exit(2)
+	}
+	opts := experiments.BenchOptions{Seed: *bseed, Trials: *btrials, Workers: *bworkers, Scale: *bscale}
+	if *btiming {
+		opts.WallClock = func() int64 { return time.Now().UnixNano() }
+	}
+	b, err := experiments.RunBench(opts).EncodeJSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	if *bout == "" {
+		os.Stdout.Write(b)
+	} else if err := os.WriteFile(*bout, b, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: feudalism <command> [-seed N]
 
@@ -111,5 +159,6 @@ commands:
   zooko       Zooko-triangle scores for all implemented naming schemes
   experiment  run one experiment by id (see list)
   all         tables + every experiment
-  list        list experiment ids`)
+  list        list experiment ids
+  bench       run every experiment and emit machine-readable BENCH JSON`)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/obs"
 )
 
 // Config sets the consensus parameters of a chain.
@@ -65,6 +66,13 @@ type Chain struct {
 	reorgs  int
 	// observers fire after the head changes.
 	onHead []func(newHead *Block)
+
+	// Observability (nil until SetObs): accepted-block and reorg counters,
+	// reorg depth distribution, and the head height gauge.
+	obsAccepted   *obs.Counter
+	obsReorgs     *obs.Counter
+	obsReorgDepth *obs.Histogram
+	obsHeight     *obs.Gauge
 }
 
 // ErrUnknownParent is returned by AddBlock when the parent block has not
@@ -93,6 +101,18 @@ func NewChain(cfg Config) *Chain {
 	c.genesis = gh
 	c.bytes += int64(genesis.WireSize())
 	return c
+}
+
+// SetObs points the chain's protocol metrics at a registry (normally the
+// simnet network's, wired by NewMiner). Several replicas publishing into
+// one registry accumulate network-wide totals: chain.block.accepted counts
+// every replica's acceptances, chain.reorg.depth pools every replica's
+// branch switches.
+func (c *Chain) SetObs(r *obs.Registry) {
+	c.obsAccepted = r.Counter("chain.block.accepted")
+	c.obsReorgs = r.Counter("chain.reorg.count")
+	c.obsReorgDepth = r.Histogram("chain.reorg.depth")
+	c.obsHeight = r.Gauge("chain.height")
 }
 
 // Config returns the chain's configuration.
@@ -255,18 +275,65 @@ func (c *Chain) AddBlock(b *Block) error {
 	c.work[h] = new(big.Int).Add(c.work[b.Header.Prev], Work(b.Header.Difficulty))
 	c.bytes += int64(b.WireSize())
 
+	if c.obsAccepted != nil {
+		c.obsAccepted.Inc()
+	}
 	// Heaviest chain wins; ties break toward the incumbent (first seen).
 	if c.work[h].Cmp(c.work[c.head]) > 0 {
 		oldHead := c.head
 		c.head = h
 		if b.Header.Prev != oldHead {
 			c.reorgs++
+			if c.obsReorgs != nil {
+				c.obsReorgs.Inc()
+				c.obsReorgDepth.Observe(float64(c.forkDepth(oldHead, h)))
+			}
+		}
+		if c.obsHeight != nil {
+			c.obsHeight.Set(float64(b.Header.Height))
 		}
 		for _, f := range c.onHead {
 			f(b)
 		}
 	}
 	return nil
+}
+
+// forkDepth returns how many blocks the abandoned branch extended past the
+// common ancestor of oldHead and newHead — the depth of the reorg from the
+// replica's point of view. Walks stop early (best-effort) if Compact has
+// discarded part of either branch.
+func (c *Chain) forkDepth(oldHead, newHead cryptoutil.Hash) uint64 {
+	a, okA := c.blocks[oldHead]
+	b, okB := c.blocks[newHead]
+	if !okA || !okB {
+		return 0
+	}
+	for b.Header.Height > a.Header.Height {
+		nb, ok := c.blocks[b.Header.Prev]
+		if !ok {
+			return 0
+		}
+		b = nb
+	}
+	for a.Header.Height > b.Header.Height {
+		na, ok := c.blocks[a.Header.Prev]
+		if !ok {
+			return a.Header.Height - b.Header.Height
+		}
+		a = na
+	}
+	// Blocks are stored once, so pointer equality identifies the ancestor.
+	for a != b {
+		na, okA := c.blocks[a.Header.Prev]
+		nb, okB := c.blocks[b.Header.Prev]
+		if !okA || !okB {
+			break
+		}
+		a, b = na, nb
+	}
+	oldHeight := c.blocks[oldHead].Header.Height
+	return oldHeight - a.Header.Height
 }
 
 // Ancestors returns up to max block hashes walking back from h (inclusive),

@@ -59,6 +59,7 @@ func NewMiner(node *simnet.Node, c *Chain, address Address, hashrate float64) *M
 		address:  address,
 		orphans:  map[cryptoutil.Hash][]*Block{},
 	}
+	c.SetObs(node.Obs())
 	node.Handle(MsgBlock, m.onBlock)
 	node.Handle(MsgTx, m.onTx)
 	node.Handle(MsgGetBlock, m.onGetBlock)

@@ -5,6 +5,8 @@ package dht
 // when the K best contacts have all been queried (or a value is found in
 // FIND_VALUE mode). Runs entirely on simnet callbacks — no goroutines.
 
+import "repro/internal/obs"
+
 type lookupState struct {
 	p         *Peer
 	target    Key
@@ -14,17 +16,20 @@ type lookupState struct {
 	failed    map[Key]bool
 	inflight  int
 	finished  bool
+	span      obs.Span
 	done      func(closest []Contact, value []byte, found bool)
 }
 
 func (p *Peer) lookup(target Key, wantValue bool, done func([]Contact, []byte, bool)) {
 	p.stats.LookupsStarted++
+	p.obsLookups.Inc()
 	ls := &lookupState{
 		p:         p,
 		target:    target,
 		wantValue: wantValue,
 		queried:   map[Key]bool{},
 		failed:    map[Key]bool{},
+		span:      p.Node().Obs().StartSpan("dht.lookup.duration_s", p.Node().Network().Now()),
 		done:      done,
 	}
 	ls.merge(p.rt.closest(target, p.cfg.K))
@@ -61,6 +66,7 @@ func (ls *lookupState) step() {
 		return
 	}
 	ls.p.stats.LookupHops++
+	ls.p.obsHops.Inc()
 	launched := 0
 	for _, c := range ls.shortlist {
 		if ls.inflight >= ls.p.cfg.Alpha {
@@ -139,6 +145,7 @@ func (ls *lookupState) finish(value []byte, found bool) {
 		return
 	}
 	ls.finished = true
+	ls.span.End(ls.p.Node().Network().Now())
 	// Result: the K closest live contacts.
 	var out []Contact
 	for _, c := range ls.shortlist {

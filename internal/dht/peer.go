@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -76,6 +77,13 @@ type Peer struct {
 	// published tracks keys this peer originated, for republishing.
 	published map[Key][]byte
 	stats     Stats
+
+	// Observability: network-wide DHT metrics, resolved once at
+	// construction (see DESIGN.md metric naming conventions).
+	obsLookups *obs.Counter
+	obsHops    *obs.Counter
+	obsServed  *obs.Counter
+	obsStores  *obs.Counter
 }
 
 // Stats counts DHT operations for experiments.
@@ -93,11 +101,15 @@ func NewPeer(node *simnet.Node, id Key, cfg Config) *Peer {
 		id = cryptoutil.SumHash([]byte{byte(node.ID()), byte(node.ID() >> 8), 0xD7})
 	}
 	p := &Peer{
-		cfg:       cfg.withDefaults(),
-		rpc:       simnet.NewRPCNode(node),
-		id:        id,
-		store:     map[Key]storedValue{},
-		published: map[Key][]byte{},
+		cfg:        cfg.withDefaults(),
+		rpc:        simnet.NewRPCNode(node),
+		id:         id,
+		store:      map[Key]storedValue{},
+		published:  map[Key][]byte{},
+		obsLookups: node.Obs().Counter("dht.lookup.started"),
+		obsHops:    node.Obs().Counter("dht.lookup.hops"),
+		obsServed:  node.Obs().Counter("dht.value.served"),
+		obsStores:  node.Obs().Counter("dht.store.sent"),
 	}
 	p.rt = newRoutingTable(id, p.cfg.K)
 	p.rpc.Serve(methodPing, p.onPing)
@@ -170,6 +182,7 @@ func (p *Peer) onFindValue(from simnet.NodeID, req any) (any, int) {
 	p.observe(r.From)
 	if sv, ok := p.store[r.Target]; ok && p.fresh(sv) {
 		p.stats.ValuesServed++
+		p.obsServed.Inc()
 		return findValueResp{Value: sv.data, Found: true}, 8 + len(sv.data)
 	}
 	cs := p.rt.closest(r.Target, p.cfg.K)
@@ -228,6 +241,7 @@ func (p *Peer) putOnce(key Key, value []byte, done func(stored int)) {
 		for _, c := range closest {
 			req := storeReq{From: p.Contact(), Key: key, Value: value}
 			p.stats.StoresSent++
+			p.obsStores.Inc()
 			p.rpc.Call(c.Addr, methodStore, req, 48+len(value), p.cfg.RequestTimeout, func(resp any, err error) {
 				pending--
 				if err == nil {

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"runtime"
+
+	"repro/internal/obs"
+	"repro/internal/simnet"
+)
+
+// BenchOptions sizes one bench sweep over the experiment registry.
+type BenchOptions struct {
+	// Seed is the base seed; multi-trial experiments derive their trial
+	// seeds from it with simnet.Seeds, exactly like `feudalism experiment`.
+	Seed int64
+	// Trials > 1 runs the Multi variant of experiments that have one.
+	Trials int
+	// Workers bounds trial parallelism (0 = GOMAXPROCS). The exported
+	// metrics are identical at any worker count.
+	Workers int
+	// Scale selects "full" (the Run/Multi sizes) or "tiny" (the test-suite
+	// sizes). Tiny keeps the CI gate and the determinism tests fast.
+	Scale string
+	// WallClock, when non-nil, supplies monotonic wall-clock nanoseconds
+	// and enables the timing section (wall time + allocations) of each
+	// entry. Timing is inherently machine-dependent, so it is opt-in: with
+	// WallClock nil the output is a pure function of (code, options).
+	// The clock is injected by cmd/feudalism rather than read here so that
+	// everything under internal/ stays free of time.Now (the determinism
+	// lint enforces this).
+	WallClock func() int64
+}
+
+func (o BenchOptions) withDefaults() BenchOptions {
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if o.Scale == "" {
+		o.Scale = "full"
+	}
+	return o
+}
+
+// RunBench executes every registered experiment under a fresh obs
+// collector and returns the machine-readable bench file: per experiment,
+// the deterministic merge of every metric registry the run created
+// (protocol counters, substrate traffic, span histograms), plus timing
+// when enabled. This is the artifact `feudalism bench -json` writes and
+// scripts/ci.sh diffs against BENCH_baseline.json.
+func RunBench(opts BenchOptions) *obs.BenchFile {
+	opts = opts.withDefaults()
+	file := &obs.BenchFile{
+		Schema: obs.BenchSchema,
+		Seed:   opts.Seed,
+		Trials: opts.Trials,
+		Scale:  opts.Scale,
+	}
+	for _, e := range Registry() {
+		file.Experiments = append(file.Experiments, runBenchEntry(e, opts))
+	}
+	file.Sort()
+	return file
+}
+
+func runBenchEntry(e Experiment, opts BenchOptions) obs.BenchExperiment {
+	col := obs.NewCollector()
+	restore := obs.SetCollector(col)
+	defer restore()
+
+	var timing *obs.Timing
+	var before runtime.MemStats
+	var startNS int64
+	if opts.WallClock != nil {
+		runtime.ReadMemStats(&before)
+		startNS = opts.WallClock()
+	}
+
+	switch {
+	case opts.Scale == "tiny":
+		_ = e.Tiny(opts.Seed)
+	case opts.Trials > 1 && e.Multi != nil:
+		_ = e.Multi(simnet.Seeds(opts.Seed, opts.Trials), opts.Workers)
+	default:
+		_ = e.Run(opts.Seed)
+	}
+
+	if opts.WallClock != nil {
+		elapsed := opts.WallClock() - startNS
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		timing = &obs.Timing{
+			WallNS:     elapsed,
+			Allocs:     after.Mallocs - before.Mallocs,
+			AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		}
+	}
+	return obs.BenchExperiment{ID: e.ID, Metrics: col.Merged(), Timing: timing}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// x14Bench runs the X14 recovery matrix (the experiment touching the most
+// subsystems) as a multi-trial bench entry and returns the snapshot JSON.
+func x14Bench(t *testing.T, workers int) []byte {
+	t.Helper()
+	e, ok := Find("x14")
+	if !ok {
+		t.Fatal("x14 missing from registry")
+	}
+	entry := runBenchEntry(e, BenchOptions{Seed: 4242, Trials: 3, Workers: workers, Scale: "full"}.withDefaults())
+	var buf bytes.Buffer
+	if err := entry.Metrics.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestX14BenchGolden pins the fixed-seed X14 observability snapshot byte
+// for byte: identical across repeated runs, across trial worker counts,
+// and against the checked-in golden file. Regenerate with
+// `go test ./internal/experiments -run X14BenchGolden -update` after an
+// intentional behaviour change.
+func TestX14BenchGolden(t *testing.T) {
+	serial := x14Bench(t, 1)
+	parallel := x14Bench(t, 4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("X14 snapshot differs between 1 and 4 trial workers")
+	}
+
+	golden := filepath.Join("testdata", "x14_bench_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, serial, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(serial, want) {
+		t.Fatalf("X14 snapshot drifted from %s; if intentional, rerun with -update\ngot:\n%s", golden, serial)
+	}
+}
+
+// TestRunBenchTinyReproducible checks that a whole-registry bench file is
+// byte-identical across runs when timing is off.
+func TestRunBenchTinyReproducible(t *testing.T) {
+	opts := BenchOptions{Seed: 42, Scale: "tiny"}
+	b1, err := RunBench(opts).EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := RunBench(opts).EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("tiny bench output differs between identical runs")
+	}
+	if len(b1) == 0 || b1[len(b1)-1] != '\n' {
+		t.Fatal("bench output must end with a newline")
+	}
+}
+
+// TestBaselinePerturbationFailsGate proves the CI gate actually bites: a
+// copy of the committed BENCH_baseline.json with one counter perturbed
+// beyond tolerance must produce a regression, while the untouched pair
+// compares clean.
+func TestBaselinePerturbationFailsGate(t *testing.T) {
+	const path = "../../BENCH_baseline.json"
+	clean, err := obs.LoadBenchFile(path)
+	if err != nil {
+		t.Skipf("baseline not present: %v", err)
+	}
+	same, err := obs.LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs := obs.Compare(clean, same, obs.Tolerances{}); len(probs) != 0 {
+		t.Fatalf("identical baselines compare unclean: %v", probs)
+	}
+
+	perturbed, err := obs.LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := false
+	for _, e := range perturbed.Experiments {
+		if e.Metrics == nil {
+			continue
+		}
+		for name, v := range e.Metrics.Counters {
+			e.Metrics.Counters[name] = v*2 + 10 // far beyond any sane tolerance
+			bumped = true
+			break
+		}
+		if bumped {
+			break
+		}
+	}
+	if !bumped {
+		t.Fatal("baseline has no counters to perturb")
+	}
+	if probs := obs.Compare(clean, perturbed, obs.Tolerances{Metric: 0.25}); len(probs) == 0 {
+		t.Fatal("perturbed baseline passed the gate")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -66,15 +67,27 @@ type Member struct {
 	order []cryptoutil.Hash // delivery order, for digesting and inspection
 	// onDeliver observers fire once per item on first receipt.
 	onDeliver []func(Item)
+
+	// Observability: network-wide gossip metrics (push fan-out volume,
+	// first-time deliveries, anti-entropy rounds, holes repaired by digest
+	// exchange), resolved once at construction.
+	obsPushes    *obs.Counter
+	obsDelivered *obs.Counter
+	obsRounds    *obs.Counter
+	obsRepaired  *obs.Counter
 }
 
 // NewMember attaches a gossip member to a node. Anti-entropy (if enabled)
 // starts immediately and pauses automatically while the node is down.
 func NewMember(node *simnet.Node, cfg Config) *Member {
 	m := &Member{
-		node:  node,
-		cfg:   cfg.withDefaults(),
-		items: map[cryptoutil.Hash]Item{},
+		node:         node,
+		cfg:          cfg.withDefaults(),
+		items:        map[cryptoutil.Hash]Item{},
+		obsPushes:    node.Obs().Counter("gossip.push.sent"),
+		obsDelivered: node.Obs().Counter("gossip.item.delivered"),
+		obsRounds:    node.Obs().Counter("gossip.antientropy.rounds"),
+		obsRepaired:  node.Obs().Counter("gossip.repair.items"),
 	}
 	node.Handle(msgPush, m.onPush)
 	node.Handle(msgSync, m.onSync)
@@ -130,6 +143,7 @@ func (m *Member) accept(it Item) bool {
 	}
 	m.items[it.ID] = it
 	m.order = append(m.order, it.ID)
+	m.obsDelivered.Inc()
 	for _, f := range m.onDeliver {
 		f(it)
 	}
@@ -153,6 +167,7 @@ func (m *Member) push(it Item, exclude simnet.NodeID) {
 			continue
 		}
 		m.node.Send(p, msgPush, it, it.Size+40)
+		m.obsPushes.Inc()
 		sent++
 	}
 }
@@ -177,6 +192,7 @@ func (m *Member) scheduleAntiEntropy() {
 		if m.node.Up() && len(m.peers) > 0 {
 			peer := m.peers[m.node.Rand().Intn(len(m.peers))]
 			if peer != m.node.ID() {
+				m.obsRounds.Inc()
 				digest := syncDigest{from: m.node.ID(), ids: m.IDs()}
 				m.node.Send(peer, msgSync, digest, 16+32*len(digest.ids))
 			}
@@ -220,7 +236,9 @@ func (m *Member) onDelta(msg simnet.Message) {
 		return
 	}
 	for _, it := range d.items {
-		m.accept(it)
+		if m.accept(it) {
+			m.obsRepaired.Inc()
+		}
 	}
 	if len(d.want) > 0 {
 		var back syncDelta

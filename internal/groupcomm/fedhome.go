@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -33,6 +34,11 @@ type FedInstance struct {
 	blocked  map[string]bool // defederated instance names
 	// Moderated counts posts this instance refused.
 	Moderated int
+
+	// Observability: federation-wide post/push/moderation totals.
+	obsStored    *obs.Counter
+	obsPushes    *obs.Counter
+	obsModerated *obs.Counter
 }
 
 // RPC methods for the federated-home model.
@@ -70,6 +76,9 @@ func NewFedInstance(node *simnet.Node, name string, policy *ModerationPolicy) *F
 		blocked:   map[string]bool{},
 		policy:    policy,
 	}
+	inst.obsStored = node.Obs().Counter("groupcomm.fed.post.stored")
+	inst.obsPushes = node.Obs().Counter("groupcomm.fed.push.sent")
+	inst.obsModerated = node.Obs().Counter("groupcomm.fed.post.moderated")
 	inst.rpc.Serve(methodFedPost, inst.onPost)
 	inst.rpc.Serve(methodFedPush, inst.onPush)
 	inst.rpc.Serve(methodFedRead, inst.onRead)
@@ -132,9 +141,11 @@ func (fi *FedInstance) onPost(from simnet.NodeID, req any) (any, int) {
 	}
 	if !fi.policy.Allows(r.Post) {
 		fi.Moderated++
+		fi.obsModerated.Inc()
 		return false, 8
 	}
 	fi.received[r.Post.Author] = append(fi.received[r.Post.Author], r.Post)
+	fi.obsStored.Inc()
 	// Push to every follower instance (sorted for determinism). A follower
 	// instance that is down right now simply misses the post — the OStatus
 	// weakness.
@@ -149,6 +160,7 @@ func (fi *FedInstance) onPost(from simnet.NodeID, req any) (any, int) {
 		}
 		if addr, ok := fi.peers[instName]; ok {
 			push := fedPushReq{FromInstance: fi.name, Post: r.Post}
+			fi.obsPushes.Inc()
 			fi.rpc.Call(addr, methodFedPush, push, r.Post.WireSize()+32, 10*time.Second, func(any, error) {})
 		}
 	}
@@ -162,9 +174,11 @@ func (fi *FedInstance) onPush(from simnet.NodeID, req any) (any, int) {
 	}
 	if !fi.policy.Allows(r.Post) {
 		fi.Moderated++
+		fi.obsModerated.Inc()
 		return false, 8
 	}
 	fi.received[r.Post.Author] = append(fi.received[r.Post.Author], r.Post)
+	fi.obsStored.Inc()
 	return true, 8
 }
 

@@ -228,6 +228,39 @@ func (h *Histogram) NumBuckets() int { return len(h.buckets) }
 // OutOfRange returns the underflow and overflow counts.
 func (h *Histogram) OutOfRange() (under, over int64) { return h.under, h.over }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
+// interpolating linearly within the bucket that contains the target rank.
+// Underflow resolves to lo and overflow to hi (the histogram does not know
+// how far outside the range those samples fell). Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.observed == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.observed-1)
+	if rank < float64(h.under) {
+		return h.lo
+	}
+	cum := float64(h.under)
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if rank < cum+float64(n) {
+			// Position within this bucket, interpolated across its width.
+			frac := (rank - cum + 0.5) / float64(n)
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		cum += float64(n)
+	}
+	return h.hi
+}
+
 // Counter is a monotonically increasing event counter, safe for concurrent
 // use.
 type Counter struct {

@@ -3,6 +3,8 @@ package simnet
 import (
 	"math/rand"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Node is one simulated host. All methods must be called from within the
@@ -56,6 +58,12 @@ func (n *Node) Rand() *rand.Rand { return n.rng }
 // drops for messages it originated; Delivered/BytesDelivered/Unhandled and
 // in-flight drops for messages addressed to it.
 func (n *Node) Trace() *Trace { return &n.trace }
+
+// Obs returns the network-wide observability registry. Protocol layers on
+// this node resolve their named metrics (e.g. "dht.lookup.hops") once at
+// construction and update them live; metrics are network-scoped, not
+// node-scoped, so per-node cardinality never explodes.
+func (n *Node) Obs() *obs.Registry { return n.nw.obs }
 
 // Profile returns the node's link profile.
 func (n *Node) Profile() LinkProfile { return n.profile }

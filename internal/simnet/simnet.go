@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // NodeID identifies a node within one Network.
@@ -160,6 +161,10 @@ type Network struct {
 	latency      map[string]*metrics.Histogram
 	deliveryPool sync.Pool
 	running      bool
+	// obs is the network's observability registry: protocol subsystems
+	// annotate it live (via Node.Obs) and the substrate mirrors its Trace
+	// and latency quantiles into it at snapshot time.
+	obs *obs.Registry
 }
 
 var _ Scheduler = (*Network)(nil)
@@ -167,12 +172,54 @@ var _ Scheduler = (*Network)(nil)
 // New creates a network whose randomness derives entirely from seed.
 // Nodes added later default to DatacenterProfile.
 func New(seed int64) *Network {
-	return &Network{
+	nw := &Network{
 		seed:      seed,
 		rng:       networkRand(seed),
 		defProf:   DatacenterProfile(),
 		partition: map[NodeID]int{},
 		latency:   map[string]*metrics.Histogram{},
+		obs:       obs.NewRegistry(),
+	}
+	// The label orders registries during cross-trial merges; the publish
+	// hook keeps the per-message hot path free of registry work by copying
+	// Trace totals and latency quantiles in only when a snapshot is taken.
+	nw.obs.SetLabel(fmt.Sprintf("seed:%d", seed))
+	nw.obs.OnPublish(nw.publishObs)
+	obs.AttachCurrent(nw.obs)
+	return nw
+}
+
+// Obs returns the network's observability registry. Protocol layers
+// resolve their named metrics once at construction (see Node.Obs) and
+// update them live; Snapshot/merge export happens through internal/obs.
+func (nw *Network) Obs() *obs.Registry { return nw.obs }
+
+// publishObs mirrors the substrate's accumulated state into the registry.
+// Runs on every Registry.Snapshot, so Set (not Add) keeps it idempotent.
+func (nw *Network) publishObs(r *obs.Registry) {
+	t := &nw.trace
+	r.Counter("net.msg.sent").Set(t.Sent)
+	r.Counter("net.msg.delivered").Set(t.Delivered)
+	r.Counter("net.msg.dropped").Set(t.Dropped)
+	r.Counter("net.msg.unhandled").Set(t.Unhandled)
+	r.Counter("net.bytes.sent").Set(t.BytesSent)
+	r.Counter("net.bytes.delivered").Set(t.BytesDelivered)
+	r.Counter("net.fault.corrupted").Set(t.Corrupted)
+	r.Counter("net.fault.duplicated").Set(t.Duplicated)
+	r.Counter("net.fault.reordered").Set(t.Reordered)
+	r.Gauge("net.nodes").Set(float64(len(nw.nodes)))
+	var crashes int64
+	var downtime time.Duration
+	for _, n := range nw.nodes {
+		crashes += int64(n.crashes)
+		downtime += n.downtime
+	}
+	r.Counter("net.node.crashes").Set(crashes)
+	r.Gauge("net.node.downtime_s").Set(downtime.Seconds())
+	for kind, h := range nw.latency {
+		r.Counter("net.latency." + kind + ".count").Set(h.Count())
+		r.Gauge("net.latency." + kind + ".p50_s").Set(h.Quantile(0.5))
+		r.Gauge("net.latency." + kind + ".p95_s").Set(h.Quantile(0.95))
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cryptoutil"
 	"repro/internal/erasure"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -16,12 +17,23 @@ import (
 type Client struct {
 	rpc     *simnet.RPCNode
 	timeout time.Duration
+
+	// Observability: network-wide repair volume (chunk copies restored and
+	// their payload bytes); repair latency is spanned per Repair call as
+	// storage.repair.duration_s.
+	obsRepairChunks *obs.Counter
+	obsRepairBytes  *obs.Counter
 }
 
 // NewClient creates a storage client on node. timeout bounds individual
 // transfer RPCs (auditing uses its own deadline).
 func NewClient(node *simnet.Node, timeout time.Duration) *Client {
-	return &Client{rpc: simnet.NewRPCNode(node), timeout: timeout}
+	return &Client{
+		rpc:             simnet.NewRPCNode(node),
+		timeout:         timeout,
+		obsRepairChunks: node.Obs().Counter("storage.repair.chunks"),
+		obsRepairBytes:  node.Obs().Counter("storage.repair.bytes"),
+	}
 }
 
 // Node returns the client's simnet node.
@@ -359,6 +371,13 @@ func chunkDataLen(m *Manifest, ci int) int {
 // erasure mode it reconstructs lost shards from any k survivors and
 // re-places them. done receives how many chunk copies were restored.
 func (c *Client) Repair(m *Manifest, pl *Placement, pool []ProviderRef, done func(restored int, err error)) {
+	node := c.rpc.Node()
+	span := node.Obs().StartSpan("storage.repair.duration_s", node.Network().Now())
+	inner := done
+	done = func(restored int, err error) {
+		span.End(node.Network().Now())
+		inner(restored, err)
+	}
 	switch m.Mode {
 	case ModeReplicate:
 		c.repairReplicate(m, pl, pool, done)
@@ -400,6 +419,8 @@ func (c *Client) repairReplicate(m *Manifest, pl *Placement, pool []ProviderRef,
 			}
 			c.placeOnFresh(NewChunk(data), pl, pool, nil, j.missing, func(placed int) {
 				restored += placed
+				c.obsRepairChunks.Add(int64(placed))
+				c.obsRepairBytes.Add(int64(placed * len(data)))
 				if placed < j.missing && anyErr == nil {
 					anyErr = fmt.Errorf("storage: chunk %s restored %d/%d copies", j.id.Short(), placed, j.missing)
 				}
@@ -476,6 +497,8 @@ func (c *Client) repairErasure(m *Manifest, pl *Placement, pool []ProviderRef, d
 				ch := NewChunk(shards[si])
 				c.placeOnFresh(ch, pl, pool, occupied, 1, func(placed int) {
 					restored += placed
+					c.obsRepairChunks.Add(int64(placed))
+					c.obsRepairBytes.Add(int64(placed * len(ch.Data)))
 					for _, h := range pl.Holders[ch.ID] {
 						occupied[h.Node] = true
 					}

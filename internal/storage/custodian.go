@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/chain"
 	"repro/internal/cryptoutil"
+	"repro/internal/obs"
 )
 
 // Custodian automates the owner side of the storage economy: on a fixed
@@ -27,6 +28,10 @@ type Custodian struct {
 	// Stats.
 	Epochs, Repairs, PaymentsSent, AuditFailures int
 	running                                      bool
+
+	// Observability: audit epochs run and challenges failed, network-wide.
+	obsEpochs   *obs.Counter
+	obsFailures *obs.Counter
 }
 
 type managedObject struct {
@@ -39,7 +44,12 @@ type managedObject struct {
 // NewCustodian creates a maintenance daemon using the given client. epoch
 // is the audit/repair period; deadline bounds individual challenges.
 func NewCustodian(client *Client, pool []ProviderRef, epoch, deadline time.Duration) *Custodian {
-	return &Custodian{client: client, pool: pool, epoch: epoch, deadline: deadline}
+	node := client.Node()
+	return &Custodian{
+		client: client, pool: pool, epoch: epoch, deadline: deadline,
+		obsEpochs:   node.Obs().Counter("storage.audit.epochs"),
+		obsFailures: node.Obs().Counter("storage.audit.failures"),
+	}
 }
 
 // AttachWallet enables on-chain settlement: payments are built from wallet
@@ -84,6 +94,7 @@ func (cu *Custodian) scheduleEpoch() {
 // runEpoch audits, repairs, and settles every managed object once.
 func (cu *Custodian) runEpoch() {
 	cu.Epochs++
+	cu.obsEpochs.Inc()
 	for _, o := range cu.objects {
 		o := o
 		cu.client.Audit(o.m, o.pl, cu.deadline, func(r *AuditReport) {
@@ -94,6 +105,7 @@ func (cu *Custodian) runEpoch() {
 					failed[res.Holder] = true
 					o.pl.Remove(o.m.Chunks[res.ChunkIndex], res.Holder)
 					cu.AuditFailures++
+					cu.obsFailures.Inc()
 				}
 			}
 			// Pay every contracted holder that proved possession.

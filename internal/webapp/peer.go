@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cryptoutil"
 	"repro/internal/dht"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -84,18 +85,27 @@ type Peer struct {
 	blobs map[cryptoutil.Hash][]byte
 	// BlobServes counts blobs served to other visitors (seeding load).
 	BlobServes int
+
+	// Observability: swarm-wide visit outcomes and seeding load; each
+	// Visit is spanned as webapp.visit.duration_s.
+	obsVisitOK   *obs.Counter
+	obsVisitFail *obs.Counter
+	obsServes    *obs.Counter
 }
 
 // NewPeer creates a web peer on node, joined to the given DHT (the caller
 // bootstraps the DHT peer) and tracker.
 func NewPeer(node *simnet.Node, d *dht.Peer, tracker simnet.NodeID, timeout time.Duration) *Peer {
 	p := &Peer{
-		rpc:     simnet.NewRPCNode(node),
-		dht:     d,
-		tracker: tracker,
-		timeout: timeout,
-		sites:   map[cryptoutil.Hash]*Manifest{},
-		blobs:   map[cryptoutil.Hash][]byte{},
+		rpc:          simnet.NewRPCNode(node),
+		dht:          d,
+		tracker:      tracker,
+		timeout:      timeout,
+		sites:        map[cryptoutil.Hash]*Manifest{},
+		blobs:        map[cryptoutil.Hash][]byte{},
+		obsVisitOK:   node.Obs().Counter("webapp.visit.ok"),
+		obsVisitFail: node.Obs().Counter("webapp.visit.fail"),
+		obsServes:    node.Obs().Counter("webapp.blob.served"),
 	}
 	p.rpc.Serve(methodBlob, p.onBlob)
 	p.rpc.Serve(methodManifest, p.onManifest)
@@ -144,6 +154,7 @@ func (p *Peer) onBlob(from simnet.NodeID, req any) (any, int) {
 		return getBlobResp{}, 8
 	}
 	p.BlobServes++
+	p.obsServes.Inc()
 	return getBlobResp{Data: data, OK: true}, 16 + len(data)
 }
 
@@ -198,6 +209,18 @@ func (p *Peer) announce(site cryptoutil.Hash) {
 // visitor seeds the site itself. done receives the assembled files or an
 // error.
 func (p *Peer) Visit(site cryptoutil.Hash, done func(files map[string][]byte, err error)) {
+	node := p.rpc.Node()
+	span := node.Obs().StartSpan("webapp.visit.duration_s", node.Network().Now())
+	inner := done
+	done = func(files map[string][]byte, err error) {
+		span.End(node.Network().Now())
+		if err == nil {
+			p.obsVisitOK.Inc()
+		} else {
+			p.obsVisitFail.Inc()
+		}
+		inner(files, err)
+	}
 	p.dht.Get(manifestKey(site), func(value []byte, ok bool) {
 		if ok {
 			m, err := DecodeManifest(value)

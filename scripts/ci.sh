@@ -1,0 +1,27 @@
+#!/bin/sh
+# ci.sh — the merge gate. Runs the full `make ci` pipeline (fmt, build,
+# vet, determinism lint, race, tests, coverage floor, fuzz burst), then the
+# seeded bench regression gate: a fresh deterministic `feudalism bench`
+# run must match the checked-in BENCH_baseline.json exactly (tolerance 0 —
+# the simulation is seed-deterministic, so any metric drift is a real
+# behaviour change that requires regenerating the baseline on purpose),
+# and the committed BENCH_baseline.json / BENCH_PR3.json pair must agree.
+# .github/workflows/ci.yml runs exactly this script; run it locally before
+# pushing to see what CI will see.
+set -eu
+cd "$(dirname "$0")/.."
+
+make ci
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+go build -o "$tmp/feudalism" ./cmd/feudalism
+go build -o "$tmp/benchdiff" ./cmd/benchdiff
+
+echo "bench gate: running deterministic bench (seed 42, full scale)"
+"$tmp/feudalism" bench -scale full -seed 42 -trials 1 -json "$tmp/bench.json"
+"$tmp/benchdiff" BENCH_baseline.json "$tmp/bench.json"
+"$tmp/benchdiff" BENCH_baseline.json BENCH_PR3.json
+
+echo "ci.sh: all gates passed"

@@ -1,0 +1,28 @@
+#!/bin/sh
+# determinism_lint.sh — fail if non-test code under internal/ (outside
+# internal/simnet, which owns all time and randomness) reads the wall clock
+# or draws from the global math/rand source. Either would make simulation
+# results depend on the host instead of the seed; anything that needs time
+# must use virtual time (Network.Now) and anything that needs randomness
+# must use the per-node RNG streams. Wall-clock timing for benches is
+# injected from cmd/ (see experiments.BenchOptions.WallClock).
+set -eu
+cd "$(dirname "$0")/.."
+
+bad=0
+for f in $(find internal -name '*.go' ! -name '*_test.go' ! -path 'internal/simnet/*' | sort); do
+    if grep -nE 'time\.Now\(' "$f"; then
+        echo "determinism lint: $f reads the wall clock (use virtual time or injected clocks)" >&2
+        bad=1
+    fi
+    if grep -nE '\brand\.(Intn|Int63n?|Int31n?|Int|Float64|Float32|Perm|Shuffle|Seed|Uint32|Uint64|NormFloat64|ExpFloat64|Read|N)\(' "$f"; then
+        echo "determinism lint: $f uses the global math/rand source (use the per-node RNG streams)" >&2
+        bad=1
+    fi
+done
+
+if [ "$bad" -ne 0 ]; then
+    echo "determinism lint: FAILED" >&2
+    exit 1
+fi
+echo "determinism lint: OK"
