@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci fmt build vet lint test race bench cover fuzz
+.PHONY: ci fmt build vet lint test race bench cover fuzz allocs scale
 
 # ci is the gate run before merging: formatting, build, vet, the
 # determinism lint, the race detector over every internal package, the
-# full test suite, the per-package coverage report with its simnet floor,
-# and a short burst over every discovered fuzz target. scripts/ci.sh runs
-# this and then adds the seeded bench regression gate on top.
-ci: fmt build vet lint race test cover fuzz
+# full test suite, the allocation-budget gate on the scale-critical hot
+# paths, the per-package coverage report with its simnet floor, and a
+# short burst over every discovered fuzz target. scripts/ci.sh runs this
+# and then adds the seeded bench regression gate on top.
+ci: fmt build vet lint race test allocs cover fuzz
 
 fmt:
 	@files="$$(gofmt -l .)"; \
@@ -69,3 +70,16 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x ./...
+
+# allocs enforces the allocation budgets on the hot paths the X15 scale
+# sweep depends on: substrate Send must stay at 0 allocs/op, RPC round
+# trips, DHT lookups and gossip rounds inside their pinned budgets.
+allocs:
+	$(GO) test -run 'TestAlloc' -count=1 .
+
+# scale is the nightly-style 10k-node tier: the big scale matrix at full
+# population, plus the race detector over the small tier. scripts/ci.sh
+# runs it when CI_SCALE=1 so the merge gate stays fast by default.
+scale:
+	SCALE=big $(GO) test -run 'TestScaleBig' -count=1 -timeout 300s -v .
+	$(GO) test -race -short -run 'TestScaleMatrix' -count=1 .

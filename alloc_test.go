@@ -1,0 +1,137 @@
+// Allocation-budget tests: pin the steady-state allocation cost of the
+// three hot paths the X15 scale sweep leans on — raw message delivery,
+// DHT lookups, and gossip publish rounds. The substrate Send path must be
+// exactly allocation-free (events and RPC envelopes recycle through
+// pools); the protocol paths carry small, pinned budgets with headroom.
+// A failure here means a regression re-introduced per-message garbage that
+// 10k-node populations cannot afford. `make allocs` (part of `make ci`)
+// runs exactly these tests.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/dht"
+	"repro/internal/gossip"
+	"repro/internal/simnet"
+)
+
+// TestAllocSendZero pins the raw substrate Send+deliver cycle at zero
+// allocations per message in steady state.
+func TestAllocSendZero(t *testing.T) {
+	nw := simnet.New(7)
+	src, dst := nw.AddNode(), nw.AddNode()
+	dst.Handle("alloc.ping", func(simnet.Message) {})
+	var payload any = struct{}{} // zero-size: boxing never allocates
+	send := func() {
+		src.Send(dst.ID(), "alloc.ping", payload, 16)
+		nw.RunAll()
+	}
+	for i := 0; i < 100; i++ {
+		send() // warm the event/delivery pools and the latency histogram
+	}
+	if avg := testing.AllocsPerRun(200, send); avg != 0 {
+		t.Errorf("Send+deliver allocates %.2f/op in steady state, want 0", avg)
+	}
+}
+
+// TestAllocRPCCall pins the full RPC round trip (call, request, reply,
+// timeout timer). The envelope and pending-call pools keep it to the one
+// unavoidable allocation: boxing the caller's done closure.
+func TestAllocRPCCall(t *testing.T) {
+	const budget = 4.0
+	nw := simnet.New(8)
+	a, b := simnet.NewRPCNode(nw.AddNode()), simnet.NewRPCNode(nw.AddNode())
+	b.Serve("alloc.echo", func(from simnet.NodeID, req any) (any, int) { return req, 8 })
+	var payload any = struct{}{}
+	call := func() {
+		a.Call(b.Node().ID(), "alloc.echo", payload, 16, 5*time.Second, func(any, error) {})
+		nw.RunAll()
+	}
+	for i := 0; i < 100; i++ {
+		call()
+	}
+	if avg := testing.AllocsPerRun(200, call); avg > budget {
+		t.Errorf("RPC round trip allocates %.2f/op, budget %.0f", avg, budget)
+	}
+}
+
+// TestAllocDHTLookup pins a full iterative Get (α-parallel lookup with
+// per-step routing-table selection) on a settled 40-peer network. The
+// budget covers the lookup state, shortlist, and the freshly allocated
+// closest() results the responders ship back; the bitset/heap table work
+// itself adds nothing per step.
+func TestAllocDHTLookup(t *testing.T) {
+	const budget = 100.0
+	nw := simnet.New(9)
+	const n = 40
+	peers := make([]*dht.Peer, n)
+	for i := range peers {
+		peers[i] = dht.NewPeer(nw.AddNode(), dht.Key{}, dht.Config{K: 8})
+	}
+	for i := 1; i < n; i++ {
+		p := peers[i]
+		nw.After(time.Duration(i)*50*time.Millisecond, func() {
+			p.Bootstrap(peers[0].Contact(), nil)
+		})
+	}
+	nw.RunAll()
+	key := cryptoutil.SumHash([]byte("alloc-key"))
+	peers[0].Put(key, []byte{1}, nil)
+	nw.RunAll()
+	get := func() {
+		peers[n-1].Get(key, func([]byte, bool) {})
+		nw.RunAll()
+	}
+	for i := 0; i < 50; i++ {
+		get()
+	}
+	avg := testing.AllocsPerRun(100, get)
+	t.Logf("DHT Get: %.1f allocs/op (budget %.0f)", avg, budget)
+	if avg > budget {
+		t.Errorf("DHT Get allocates %.1f/op, budget %.0f", avg, budget)
+	}
+}
+
+// TestAllocGossipRound pins one publish round (flood to fanout peers plus
+// the epidemic relay across a 30-member mesh). The budget covers item-map
+// growth and per-hop deliveries; peer sampling itself is allocation-free
+// since the partial Fisher-Yates reuses the member's index buffer.
+func TestAllocGossipRound(t *testing.T) {
+	const budget = 260.0
+	nw := simnet.New(10)
+	const n = 30
+	members := make([]*gossip.Member, n)
+	ids := make([]simnet.NodeID, n)
+	for i := range members {
+		members[i] = gossip.NewMember(nw.AddNode(), gossip.Config{Fanout: 3})
+		ids[i] = members[i].Node().ID()
+	}
+	for i, m := range members {
+		peers := make([]simnet.NodeID, 0, n-1)
+		for j, id := range ids {
+			if j != i {
+				peers = append(peers, id)
+			}
+		}
+		m.SetPeers(peers)
+	}
+	seq := 0
+	publish := func() {
+		seq++
+		data := fmt.Sprintf("alloc-item-%d", seq)
+		members[seq%n].Publish(gossip.Item{ID: cryptoutil.SumHash([]byte(data)), Data: nil, Size: 64})
+		nw.RunAll()
+	}
+	for i := 0; i < 50; i++ {
+		publish()
+	}
+	avg := testing.AllocsPerRun(100, publish)
+	t.Logf("gossip publish round: %.1f allocs/op across %d members (budget %.0f)", avg, n, budget)
+	if avg > budget {
+		t.Errorf("gossip publish round allocates %.1f/op, budget %.0f", avg, budget)
+	}
+}

@@ -189,3 +189,22 @@ func BenchmarkRecoveryMatrix(b *testing.B) {
 		emit(b, "x14", t)
 	}
 }
+
+// BenchmarkScaleSweep is experiment X15 at tiny tiers: the subsystem ×
+// population convergence sweep. (`feudalism experiment x15 -timing` runs
+// the full 10k-node axis with wall/alloc columns.)
+func BenchmarkScaleSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.ScaleSweep(int64(i+59), true)
+		emit(b, "x15", t)
+	}
+}
+
+// BenchmarkScaleCell10kSimnet times one raw-substrate cell at the full
+// 10,000-node population — the direct measure of the Send/RPC hot path the
+// allocation-budget tests pin.
+func BenchmarkScaleCell10kSimnet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ScaleCellRun("simnet", int64(i+61), 10000)
+	}
+}

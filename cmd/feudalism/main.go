@@ -87,7 +87,11 @@ func main() {
 		seed2 := rest.Int64("seed", *seed, "simulation seed")
 		trials := rest.Int("trials", 1, "number of independent seeds to aggregate over")
 		workers := rest.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		timing := rest.Bool("timing", false, "show wall time and allocations where the experiment supports it (X15)")
 		_ = rest.Parse(fs.Args()[1:])
+		if *timing {
+			experiments.SetWallClock(func() int64 { return time.Now().UnixNano() })
+		}
 		e, ok := experiments.Find(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; see `feudalism list`\n", id)

@@ -22,7 +22,7 @@ type lookupState struct {
 
 func (p *Peer) lookup(target Key, wantValue bool, done func([]Contact, []byte, bool)) {
 	p.stats.LookupsStarted++
-	p.obsLookups.Inc()
+	p.m.lookups.Inc()
 	ls := &lookupState{
 		p:         p,
 		target:    target,
@@ -66,7 +66,7 @@ func (ls *lookupState) step() {
 		return
 	}
 	ls.p.stats.LookupHops++
-	ls.p.obsHops.Inc()
+	ls.p.m.hops.Inc()
 	launched := 0
 	for _, c := range ls.shortlist {
 		if ls.inflight >= ls.p.cfg.Alpha {

@@ -78,12 +78,30 @@ type Peer struct {
 	published map[Key][]byte
 	stats     Stats
 
-	// Observability: network-wide DHT metrics, resolved once at
-	// construction (see DESIGN.md metric naming conventions).
-	obsLookups *obs.Counter
-	obsHops    *obs.Counter
-	obsServed  *obs.Counter
-	obsStores  *obs.Counter
+	// Observability: network-wide DHT metrics. The bundle is resolved once
+	// per registry via Memo and shared by every peer on the network, so
+	// constructing a 10k-peer population does 4 map lookups, not 40k (see
+	// DESIGN.md metric naming conventions).
+	m *dhtMetrics
+}
+
+// dhtMetrics is the package's network-scoped counter bundle.
+type dhtMetrics struct {
+	lookups *obs.Counter
+	hops    *obs.Counter
+	served  *obs.Counter
+	stores  *obs.Counter
+}
+
+func metricsFor(r *obs.Registry) *dhtMetrics {
+	return r.Memo("dht", func() any {
+		return &dhtMetrics{
+			lookups: r.Counter("dht.lookup.started"),
+			hops:    r.Counter("dht.lookup.hops"),
+			served:  r.Counter("dht.value.served"),
+			stores:  r.Counter("dht.store.sent"),
+		}
+	}).(*dhtMetrics)
 }
 
 // Stats counts DHT operations for experiments.
@@ -101,15 +119,12 @@ func NewPeer(node *simnet.Node, id Key, cfg Config) *Peer {
 		id = cryptoutil.SumHash([]byte{byte(node.ID()), byte(node.ID() >> 8), 0xD7})
 	}
 	p := &Peer{
-		cfg:        cfg.withDefaults(),
-		rpc:        simnet.NewRPCNode(node),
-		id:         id,
-		store:      map[Key]storedValue{},
-		published:  map[Key][]byte{},
-		obsLookups: node.Obs().Counter("dht.lookup.started"),
-		obsHops:    node.Obs().Counter("dht.lookup.hops"),
-		obsServed:  node.Obs().Counter("dht.value.served"),
-		obsStores:  node.Obs().Counter("dht.store.sent"),
+		cfg:       cfg.withDefaults(),
+		rpc:       simnet.NewRPCNode(node),
+		id:        id,
+		store:     map[Key]storedValue{},
+		published: map[Key][]byte{},
+		m:         metricsFor(node.Obs()),
 	}
 	p.rt = newRoutingTable(id, p.cfg.K)
 	p.rpc.Serve(methodPing, p.onPing)
@@ -182,7 +197,7 @@ func (p *Peer) onFindValue(from simnet.NodeID, req any) (any, int) {
 	p.observe(r.From)
 	if sv, ok := p.store[r.Target]; ok && p.fresh(sv) {
 		p.stats.ValuesServed++
-		p.obsServed.Inc()
+		p.m.served.Inc()
 		return findValueResp{Value: sv.data, Found: true}, 8 + len(sv.data)
 	}
 	cs := p.rt.closest(r.Target, p.cfg.K)
@@ -241,7 +256,7 @@ func (p *Peer) putOnce(key Key, value []byte, done func(stored int)) {
 		for _, c := range closest {
 			req := storeReq{From: p.Contact(), Key: key, Value: value}
 			p.stats.StoresSent++
-			p.obsStores.Inc()
+			p.m.stores.Inc()
 			p.rpc.Call(c.Addr, methodStore, req, 48+len(value), p.cfg.RequestTimeout, func(resp any, err error) {
 				pending--
 				if err == nil {

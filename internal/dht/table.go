@@ -79,15 +79,42 @@ func (b *bucket) indexOf(id Key) int {
 	return -1
 }
 
-// routingTable is a 256-bucket Kademlia table.
+// moveToTail promotes entry i to most-recently-seen by rotating in place —
+// no reallocation, so steady-state observe() of known contacts is
+// allocation-free.
+func (b *bucket) moveToTail(i int) {
+	e := b.entries[i]
+	copy(b.entries[i:], b.entries[i+1:])
+	b.entries[len(b.entries)-1] = e
+}
+
+// routingTable is a 256-bucket Kademlia table. Two indexes keep table
+// maintenance off the O(buckets) and O(contacts) scans that dominate at
+// 10k-node populations: occ is an occupancy bitset over the 256 buckets
+// (closest walks only non-empty ones), and n counts contacts so size() is
+// O(1).
 type routingTable struct {
 	self Key
 	k    int
 	b    [256]bucket
+	occ  [4]uint64
+	n    int
+	// sel is the reusable selection heap for closest(); results are copied
+	// out because callers retain them (RPC responses alias the slice).
+	sel []Contact
 }
 
 func newRoutingTable(self Key, k int) *routingTable {
 	return &routingTable{self: self, k: k}
+}
+
+func (rt *routingTable) markOccupied(idx int) { rt.occ[idx>>6] |= 1 << (idx & 63) }
+
+// syncOccupied clears the bucket's occupancy bit if it has drained.
+func (rt *routingTable) syncOccupied(idx int) {
+	if len(rt.b[idx].entries) == 0 {
+		rt.occ[idx>>6] &^= 1 << (idx & 63)
+	}
 }
 
 // observe records contact activity. If the bucket is full it returns the
@@ -101,13 +128,13 @@ func (rt *routingTable) observe(c Contact) *Contact {
 	}
 	bk := &rt.b[idx]
 	if i := bk.indexOf(c.ID); i >= 0 {
-		// Move to tail (most recently seen).
-		e := bk.entries[i]
-		bk.entries = append(append(bk.entries[:i:i], bk.entries[i+1:]...), e)
+		bk.moveToTail(i)
 		return nil
 	}
 	if len(bk.entries) < rt.k {
 		bk.entries = append(bk.entries, bucketEntry{c: c})
+		rt.markOccupied(idx)
+		rt.n++
 		return nil
 	}
 	oldest := bk.entries[0].c
@@ -124,10 +151,14 @@ func (rt *routingTable) evict(old Contact, repl Contact) {
 	bk := &rt.b[idx]
 	if i := bk.indexOf(old.ID); i >= 0 {
 		bk.entries = append(bk.entries[:i], bk.entries[i+1:]...)
+		rt.n--
 	}
 	if len(bk.entries) < rt.k && bk.indexOf(repl.ID) < 0 {
 		bk.entries = append(bk.entries, bucketEntry{c: repl})
+		rt.markOccupied(idx)
+		rt.n++
 	}
+	rt.syncOccupied(idx)
 }
 
 // refresh moves a contact to most-recently-seen if present (used after a
@@ -139,8 +170,7 @@ func (rt *routingTable) refresh(id Key) {
 	}
 	bk := &rt.b[idx]
 	if i := bk.indexOf(id); i >= 0 {
-		e := bk.entries[i]
-		bk.entries = append(append(bk.entries[:i:i], bk.entries[i+1:]...), e)
+		bk.moveToTail(i)
 	}
 }
 
@@ -153,34 +183,78 @@ func (rt *routingTable) remove(id Key) {
 	bk := &rt.b[idx]
 	if i := bk.indexOf(id); i >= 0 {
 		bk.entries = append(bk.entries[:i], bk.entries[i+1:]...)
+		rt.n--
+		rt.syncOccupied(idx)
 	}
 }
 
 // closest returns up to n contacts nearest to target, sorted by XOR
-// distance ascending.
+// distance ascending. It walks only occupied buckets (via the occupancy
+// bitset) and keeps the n best seen so far in a bounded max-heap, so the
+// cost is O(contacts·log n) instead of sorting the whole table; XOR
+// distances are unique per pair, so the selection is exactly the prefix the
+// full sort would produce. The returned slice is freshly allocated — RPC
+// responses retain it past this call.
 func (rt *routingTable) closest(target Key, n int) []Contact {
-	var all []Contact
-	for i := range rt.b {
-		for _, e := range rt.b[i].entries {
-			all = append(all, e.c)
+	if n <= 0 || rt.n == 0 {
+		return nil
+	}
+	h := rt.sel[:0]
+	for w, word := range rt.occ {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << bit
+			for _, e := range rt.b[w<<6|bit].entries {
+				if len(h) < n {
+					h = append(h, e.c)
+					siftUpFarthest(target, h, len(h)-1)
+				} else if DistanceLess(target, e.c.ID, h[0].ID) {
+					h[0] = e.c
+					siftDownFarthest(target, h, 0)
+				}
+			}
 		}
 	}
-	// Insertion-sort-ish selection is fine at table scale; use full sort.
-	sortByDistance(target, all)
-	if len(all) > n {
-		all = all[:n]
+	out := make([]Contact, len(h))
+	copy(out, h)
+	rt.sel = h[:0]
+	sortByDistance(target, out)
+	return out
+}
+
+// siftUpFarthest restores the max-heap (farthest-from-target at the root)
+// after appending at index i.
+func siftUpFarthest(target Key, h []Contact, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !DistanceLess(target, h[p].ID, h[i].ID) {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
 	}
-	return all
+}
+
+// siftDownFarthest restores the max-heap after replacing the root.
+func siftDownFarthest(target Key, h []Contact, i int) {
+	for {
+		far := i
+		if l := 2*i + 1; l < len(h) && DistanceLess(target, h[far].ID, h[l].ID) {
+			far = l
+		}
+		if r := 2*i + 2; r < len(h) && DistanceLess(target, h[far].ID, h[r].ID) {
+			far = r
+		}
+		if far == i {
+			return
+		}
+		h[i], h[far] = h[far], h[i]
+		i = far
+	}
 }
 
 // size returns the number of contacts in the table.
-func (rt *routingTable) size() int {
-	total := 0
-	for i := range rt.b {
-		total += len(rt.b[i].entries)
-	}
-	return total
-}
+func (rt *routingTable) size() int { return rt.n }
 
 func sortByDistance(target Key, cs []Contact) {
 	// Simple insertion sort: contact lists are short (≤ a few hundred).

@@ -146,6 +146,14 @@ func Registry() []Experiment {
 			},
 			Tiny: func(seed int64) fmt.Stringer { return RecoveryMatrixTiny(seed) },
 		},
+		{
+			ID: "x15", Desc: "X15: scale sweep, subsystem × population up to 10k nodes",
+			Run: func(seed int64) fmt.Stringer { return ScaleSweep(seed, false) },
+			Multi: func(seeds []int64, workers int) fmt.Stringer {
+				return ScaleSweepMulti(seeds, workers, false)
+			},
+			Tiny: func(seed int64) fmt.Stringer { return ScaleSweep(seed, true) },
+		},
 	}
 }
 

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// x15Bench runs the X15 scale sweep as a multi-trial bench entry at the
+// tiny tier sizes (the worker-invariance property is about merge ordering,
+// not population size) and returns the snapshot JSON.
+func x15Bench(t *testing.T, workers int) []byte {
+	t.Helper()
+	e := Experiment{
+		ID:  "x15",
+		Run: func(seed int64) fmt.Stringer { return ScaleSweep(seed, true) },
+		Multi: func(seeds []int64, workers int) fmt.Stringer {
+			return ScaleSweepMulti(seeds, workers, true)
+		},
+		Tiny: func(seed int64) fmt.Stringer { return ScaleSweep(seed, true) },
+	}
+	entry := runBenchEntry(e, BenchOptions{Seed: 1515, Trials: 3, Workers: workers, Scale: "full"}.withDefaults())
+	var buf bytes.Buffer
+	if err := entry.Metrics.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestX15BenchGolden pins the fixed-seed X15 observability snapshot byte
+// for byte: identical across repeated runs, across trial worker counts,
+// and against the checked-in golden file. Regenerate with
+// `go test ./internal/experiments -run X15BenchGolden -update` after an
+// intentional behaviour change.
+func TestX15BenchGolden(t *testing.T) {
+	serial := x15Bench(t, 1)
+	parallel := x15Bench(t, 4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("X15 snapshot differs between 1 and 4 trial workers")
+	}
+
+	golden := filepath.Join("testdata", "x15_bench_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, serial, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(serial, want) {
+		t.Fatalf("X15 snapshot drifted from %s; if intentional, rerun with -update\ngot:\n%s", golden, serial)
+	}
+}
+
+// x15TimedFile builds a bench file holding one X15 entry with the given
+// wall time, for exercising the time gate.
+func x15TimedFile(wallNS int64) *obs.BenchFile {
+	return &obs.BenchFile{
+		Schema: obs.BenchSchema,
+		Experiments: []obs.BenchExperiment{{
+			ID:      "x15",
+			Metrics: &obs.Snapshot{Counters: map[string]int64{"net.msg.delivered": 100}},
+			Timing:  &obs.Timing{WallNS: wallNS, Allocs: 1000},
+		}},
+	}
+}
+
+// TestX15TimeGate covers the benchdiff time gate on X15 entries: growth
+// beyond the tolerance is a regression, growth within it (and any
+// improvement) is not, and a zero tolerance disables the gate entirely —
+// the setting cross-machine comparisons rely on.
+func TestX15TimeGate(t *testing.T) {
+	base := x15TimedFile(10_000_000) // 10 ms
+
+	if probs := obs.Compare(base, x15TimedFile(13_000_000), obs.Tolerances{Time: 0.2}); len(probs) == 0 {
+		t.Fatal("30% wall-time growth passed a 20% time gate")
+	}
+	if probs := obs.Compare(base, x15TimedFile(11_000_000), obs.Tolerances{Time: 0.2}); len(probs) != 0 {
+		t.Fatalf("10%% wall-time growth tripped a 20%% time gate: %v", probs)
+	}
+	if probs := obs.Compare(base, x15TimedFile(5_000_000), obs.Tolerances{Time: 0.2}); len(probs) != 0 {
+		t.Fatalf("a wall-time improvement tripped the gate: %v", probs)
+	}
+	if probs := obs.Compare(base, x15TimedFile(1_000_000_000), obs.Tolerances{Time: 0}); len(probs) != 0 {
+		t.Fatalf("time gate fired despite being disabled: %v", probs)
+	}
+}

@@ -63,31 +63,50 @@ type Member struct {
 	node  *simnet.Node
 	cfg   Config
 	peers []simnet.NodeID
-	items map[cryptoutil.Hash]Item
-	order []cryptoutil.Hash // delivery order, for digesting and inspection
+	// sample is a persistent index permutation over peers; push() runs a
+	// partial Fisher-Yates over it to draw Fanout distinct peers without
+	// allocating or shuffling the whole set (rng.Perm is O(peers) work and
+	// one allocation per push — ruinous at 10k-member populations).
+	sample []int32
+	items  map[cryptoutil.Hash]Item
+	order  []cryptoutil.Hash // delivery order, for digesting and inspection
 	// onDeliver observers fire once per item on first receipt.
 	onDeliver []func(Item)
 
 	// Observability: network-wide gossip metrics (push fan-out volume,
 	// first-time deliveries, anti-entropy rounds, holes repaired by digest
-	// exchange), resolved once at construction.
-	obsPushes    *obs.Counter
-	obsDelivered *obs.Counter
-	obsRounds    *obs.Counter
-	obsRepaired  *obs.Counter
+	// exchange). The bundle is Memo-cached on the registry, so it resolves
+	// once per network rather than once per member.
+	m *gossipMetrics
+}
+
+// gossipMetrics is the package's network-scoped counter bundle.
+type gossipMetrics struct {
+	pushes    *obs.Counter
+	delivered *obs.Counter
+	rounds    *obs.Counter
+	repaired  *obs.Counter
+}
+
+func metricsFor(r *obs.Registry) *gossipMetrics {
+	return r.Memo("gossip", func() any {
+		return &gossipMetrics{
+			pushes:    r.Counter("gossip.push.sent"),
+			delivered: r.Counter("gossip.item.delivered"),
+			rounds:    r.Counter("gossip.antientropy.rounds"),
+			repaired:  r.Counter("gossip.repair.items"),
+		}
+	}).(*gossipMetrics)
 }
 
 // NewMember attaches a gossip member to a node. Anti-entropy (if enabled)
 // starts immediately and pauses automatically while the node is down.
 func NewMember(node *simnet.Node, cfg Config) *Member {
 	m := &Member{
-		node:         node,
-		cfg:          cfg.withDefaults(),
-		items:        map[cryptoutil.Hash]Item{},
-		obsPushes:    node.Obs().Counter("gossip.push.sent"),
-		obsDelivered: node.Obs().Counter("gossip.item.delivered"),
-		obsRounds:    node.Obs().Counter("gossip.antientropy.rounds"),
-		obsRepaired:  node.Obs().Counter("gossip.repair.items"),
+		node:  node,
+		cfg:   cfg.withDefaults(),
+		items: map[cryptoutil.Hash]Item{},
+		m:     metricsFor(node.Obs()),
 	}
 	node.Handle(msgPush, m.onPush)
 	node.Handle(msgSync, m.onSync)
@@ -102,7 +121,16 @@ func NewMember(node *simnet.Node, cfg Config) *Member {
 func (m *Member) Node() *simnet.Node { return m.node }
 
 // SetPeers replaces the peer set used for pushes and anti-entropy.
-func (m *Member) SetPeers(peers []simnet.NodeID) { m.peers = peers }
+func (m *Member) SetPeers(peers []simnet.NodeID) {
+	m.peers = peers
+	if cap(m.sample) < len(peers) {
+		m.sample = make([]int32, len(peers))
+	}
+	m.sample = m.sample[:len(peers)]
+	for i := range m.sample {
+		m.sample[i] = int32(i)
+	}
+}
 
 // Peers returns the current peer set.
 func (m *Member) Peers() []simnet.NodeID { return m.peers }
@@ -143,31 +171,34 @@ func (m *Member) accept(it Item) bool {
 	}
 	m.items[it.ID] = it
 	m.order = append(m.order, it.ID)
-	m.obsDelivered.Inc()
+	m.m.delivered.Inc()
 	for _, f := range m.onDeliver {
 		f(it)
 	}
 	return true
 }
 
-// push forwards an item to up to Fanout random peers, skipping exclude.
+// push forwards an item to up to Fanout random peers, skipping exclude. It
+// draws peers one at a time with a partial Fisher-Yates over the persistent
+// sample permutation: Fanout draws cost O(Fanout) swaps regardless of how
+// large the peer set is, and selection stays uniform because the buffer is
+// always some permutation of the peer indices.
 func (m *Member) push(it Item, exclude simnet.NodeID) {
-	if len(m.peers) == 0 {
+	n := len(m.peers)
+	if n == 0 {
 		return
 	}
 	rng := m.node.Rand()
-	perm := rng.Perm(len(m.peers))
 	sent := 0
-	for _, pi := range perm {
-		if sent >= m.cfg.Fanout {
-			break
-		}
-		p := m.peers[pi]
+	for i := 0; i < n && sent < m.cfg.Fanout; i++ {
+		j := i + rng.Intn(n-i)
+		m.sample[i], m.sample[j] = m.sample[j], m.sample[i]
+		p := m.peers[m.sample[i]]
 		if p == exclude || p == m.node.ID() {
 			continue
 		}
 		m.node.Send(p, msgPush, it, it.Size+40)
-		m.obsPushes.Inc()
+		m.m.pushes.Inc()
 		sent++
 	}
 }
@@ -185,20 +216,27 @@ func (m *Member) onPush(msg simnet.Message) {
 func (m *Member) scheduleAntiEntropy() {
 	// Jitter the period ±25 % so members don't synchronize. The timer runs
 	// on the node's local clock, so skewed members drift apart under fault
-	// plans.
+	// plans. Scheduling goes through the closure-free AfterCall path with
+	// the member itself as the argument: at 10k members this periodic
+	// rescheduling would otherwise allocate a capture per round per node.
 	period := m.cfg.AntiEntropyInterval
 	jit := time.Duration(m.node.Rand().Int63n(int64(period)/2)) - period/4
-	m.node.After(period+jit, func() {
-		if m.node.Up() && len(m.peers) > 0 {
-			peer := m.peers[m.node.Rand().Intn(len(m.peers))]
-			if peer != m.node.ID() {
-				m.obsRounds.Inc()
-				digest := syncDigest{from: m.node.ID(), ids: m.IDs()}
-				m.node.Send(peer, msgSync, digest, 16+32*len(digest.ids))
-			}
+	m.node.AfterCall(period+jit, antiEntropyEvent, m)
+}
+
+// antiEntropyEvent is the EventFunc behind every anti-entropy round; arg is
+// the *Member.
+func antiEntropyEvent(arg any) {
+	m := arg.(*Member)
+	if m.node.Up() && len(m.peers) > 0 {
+		peer := m.peers[m.node.Rand().Intn(len(m.peers))]
+		if peer != m.node.ID() {
+			m.m.rounds.Inc()
+			digest := syncDigest{from: m.node.ID(), ids: m.IDs()}
+			m.node.Send(peer, msgSync, digest, 16+32*len(digest.ids))
 		}
-		m.scheduleAntiEntropy()
-	})
+	}
+	m.scheduleAntiEntropy()
 }
 
 func (m *Member) onSync(msg simnet.Message) {
@@ -237,7 +275,7 @@ func (m *Member) onDelta(msg simnet.Message) {
 	}
 	for _, it := range d.items {
 		if m.accept(it) {
-			m.obsRepaired.Inc()
+			m.m.repaired.Inc()
 		}
 	}
 	if len(d.want) > 0 {

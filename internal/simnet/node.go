@@ -114,6 +114,14 @@ func (n *Node) AfterTimer(d time.Duration, fn func()) Timer {
 	return n.nw.AfterTimer(n.skewed(d), fn)
 }
 
+// AfterCall is the closure-free variant of After: h runs with arg after d
+// of the node's local clock time. Per-message and per-call paths (RPC
+// timeouts, periodic protocol rounds) should prefer this over After so
+// steady-state traffic does not allocate a capture per event.
+func (n *Node) AfterCall(d time.Duration, h EventFunc, arg any) Timer {
+	return n.nw.AfterCall(n.skewed(d), h, arg)
+}
+
 // Handle registers a handler for messages of the given kind, replacing any
 // existing one.
 func (n *Node) Handle(kind string, h Handler) { n.handlers[kind] = h }

@@ -2,6 +2,8 @@ package simnet
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 )
 
@@ -10,14 +12,51 @@ import (
 // receives either the response payload or a timeout. Request and response
 // each traverse the network as ordinary messages, so they inherit latency,
 // bandwidth, loss, crash, and partition behaviour.
+//
+// The hot path is allocation-free in steady state: envelopes and pending
+// call records recycle through sync.Pools (alongside the engine's event
+// pool), and the per-call timeout is scheduled through the closure-free
+// AfterCall path with the pending record itself as the argument. At
+// 10k-node populations the RPC layer carries millions of messages per
+// simulated minute, so a single capture or wrapper allocation per call
+// shows up directly in the scale sweep (X15).
 
-// rpcEnvelope wraps a request or response on the wire.
+// rpcEnvelope wraps a request or response on the wire. Envelopes are
+// pooled: the consuming side releases them back after extracting the
+// payload, except when the network's duplicate-fault model may deliver the
+// same envelope again (see newEnvelope).
 type rpcEnvelope struct {
 	id      uint64
 	method  string
 	payload any
 	isReply bool
 	ok      bool // server found a handler and produced a reply
+	// recycle records, at send time, whether this envelope is safe to
+	// return to the pool once consumed. A message sent while the network's
+	// LinkFault duplicates traffic may be delivered twice sharing one
+	// envelope pointer, so such envelopes are left to the GC instead.
+	recycle bool
+}
+
+var envPool = sync.Pool{New: func() any { return new(rpcEnvelope) }}
+
+// newEnvelope returns a pooled envelope stamped with its recycling
+// eligibility under the network's current fault model. Duplication is
+// decided per message at send time, so an envelope sent while Duplicate is
+// zero can never be delivered twice, no matter what faults appear later.
+func newEnvelope(nw *Network) *rpcEnvelope {
+	env := envPool.Get().(*rpcEnvelope)
+	env.recycle = nw.fault.Duplicate <= 0
+	return env
+}
+
+// releaseEnvelope recycles a consumed envelope when it is safe to do so.
+func releaseEnvelope(env *rpcEnvelope) {
+	if !env.recycle {
+		return
+	}
+	*env = rpcEnvelope{}
+	envPool.Put(env)
 }
 
 const rpcKind = "simnet.rpc"
@@ -32,15 +71,52 @@ type RPCNode struct {
 	asyncServers map[string]RPCAsyncHandler
 }
 
+// pendingCall is one outstanding request on the caller. It doubles as the
+// argument of the closure-free timeout event, so it carries everything the
+// timeout handler needs; records recycle through a pool once finished.
 type pendingCall struct {
-	done     func(resp any, err error)
-	timeout  Timer // cancelled when the reply lands, so no dead event lingers
+	r       *RPCNode
+	id      uint64
+	method  string
+	to      NodeID
+	wait    time.Duration
+	done    func(resp any, err error)
+	timeout Timer // cancelled when the reply lands, so no dead event lingers
+	// finished guards against double completion (reply after timeout, crash
+	// after reply); it is reset when the record is reused.
 	finished bool
 }
 
+var pendingPool = sync.Pool{New: func() any { return new(pendingCall) }}
+
+// finish marks the call complete and cancels its timeout. The caller is
+// responsible for removing it from the pending map and releasing it.
 func (pc *pendingCall) finish() {
 	pc.finished = true
 	pc.timeout.Cancel()
+}
+
+// releasePending recycles a finished call record. Callers must have
+// extracted the done callback first: release happens before the callback
+// runs so a re-entrant Call can reuse the record immediately.
+func releasePending(pc *pendingCall) {
+	*pc = pendingCall{}
+	pendingPool.Put(pc)
+}
+
+// rpcTimeoutEvent is the EventFunc behind every call timeout; arg is the
+// *pendingCall itself, so scheduling it allocates nothing.
+func rpcTimeoutEvent(arg any) {
+	pc := arg.(*pendingCall)
+	if pc.finished {
+		return
+	}
+	pc.finished = true
+	delete(pc.r.pending, pc.id)
+	done := pc.done
+	err := fmt.Errorf("simnet: call %s to node %d timed out after %v", pc.method, pc.to, pc.wait)
+	releasePending(pc)
+	done(nil, err)
 }
 
 // RPCHandler serves one method: it receives the caller's node ID and request
@@ -69,14 +145,29 @@ func NewRPCNode(n *Node) *RPCNode {
 	}
 	n.rpc = r
 	n.Handle(rpcKind, r.onMessage)
-	// A crash fails all outstanding calls: the caller's state is lost.
+	// A crash fails all outstanding calls: the caller's state is lost. The
+	// drain runs in ascending call id order — map iteration order is not
+	// deterministic, and the failure callbacks can schedule follow-up
+	// traffic whose event ordering must be a function of the seed alone.
 	n.OnDown(func() {
-		for id, pc := range r.pending {
+		if len(r.pending) == 0 {
+			return
+		}
+		ids := make([]uint64, 0, len(r.pending))
+		for id := range r.pending {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			pc := r.pending[id]
 			delete(r.pending, id)
-			if !pc.finished {
-				pc.finish()
-				pc.done(nil, fmt.Errorf("simnet: node %d crashed with call in flight", n.ID()))
+			if pc.finished {
+				continue
 			}
+			pc.finish()
+			done := pc.done
+			releasePending(pc)
+			done(nil, fmt.Errorf("simnet: node %d crashed with call in flight", n.ID()))
 		}
 	})
 	return r
@@ -100,19 +191,16 @@ func (r *RPCNode) ServeAsync(method string, h RPCAsyncHandler) { r.asyncServers[
 func (r *RPCNode) Call(to NodeID, method string, req any, reqSize int, timeout time.Duration, done func(resp any, err error)) {
 	r.nextID++
 	id := r.nextID
-	pc := &pendingCall{done: done}
+	pc := pendingPool.Get().(*pendingCall)
+	pc.r, pc.id, pc.method, pc.to, pc.wait, pc.done = r, id, method, to, timeout, done
+	pc.finished = false
 	r.pending[id] = pc
-	r.n.Send(to, rpcKind, &rpcEnvelope{id: id, method: method, payload: req}, reqSize+64)
+	env := newEnvelope(r.n.nw)
+	env.id, env.method, env.payload = id, method, req
+	r.n.Send(to, rpcKind, env, reqSize+64)
 	// The timeout runs on the caller's local clock: a fast-skewed node
 	// gives up on its peers early, a slow one hangs on.
-	pc.timeout = r.n.AfterTimer(timeout, func() {
-		if pc.finished {
-			return
-		}
-		pc.finished = true
-		delete(r.pending, id)
-		done(nil, fmt.Errorf("simnet: call %s to node %d timed out after %v", method, to, timeout))
-	})
+	pc.timeout = r.n.AfterCall(timeout, rpcTimeoutEvent, pc)
 }
 
 func (r *RPCNode) onMessage(msg Message) {
@@ -121,40 +209,60 @@ func (r *RPCNode) onMessage(msg Message) {
 		return
 	}
 	if env.isReply {
-		pc, ok := r.pending[env.id]
+		id, method, payload, served := env.id, env.method, env.payload, env.ok
+		releaseEnvelope(env)
+		pc, ok := r.pending[id]
 		if !ok || pc.finished {
 			return // late reply after timeout; drop
 		}
 		pc.finish()
-		delete(r.pending, env.id)
-		if !env.ok {
-			pc.done(nil, fmt.Errorf("simnet: node %d does not serve %s", msg.From, env.method))
+		delete(r.pending, id)
+		done := pc.done
+		releasePending(pc)
+		if !served {
+			done(nil, fmt.Errorf("simnet: node %d does not serve %s", msg.From, method))
 			return
 		}
-		pc.done(env.payload, nil)
+		done(payload, nil)
 		return
 	}
-	// Incoming request.
-	if ah, served := r.asyncServers[env.method]; served {
+	// Incoming request. Extract the fields before dispatch: a recyclable
+	// envelope is reused in place for the synchronous reply, and the async
+	// path must not alias an envelope whose struct may be repooled.
+	id, method, payload := env.id, env.method, env.payload
+	if ah, served := r.asyncServers[method]; served {
+		releaseEnvelope(env)
+		from := msg.From
 		replied := false
-		ah(msg.From, env.payload, func(resp any, respSize int) {
+		ah(from, payload, func(resp any, respSize int) {
 			if replied {
 				panic("simnet: async RPC handler replied twice")
 			}
 			replied = true
-			reply := &rpcEnvelope{id: env.id, method: env.method, isReply: true, payload: resp, ok: true}
-			r.n.Send(msg.From, rpcKind, reply, respSize+64)
+			reply := newEnvelope(r.n.nw)
+			reply.id, reply.method, reply.isReply = id, method, true
+			reply.payload, reply.ok = resp, true
+			r.n.Send(from, rpcKind, reply, respSize+64)
 		})
 		return
 	}
-	h, served := r.servers[env.method]
-	reply := &rpcEnvelope{id: env.id, method: env.method, isReply: true}
+	h, served := r.servers[method]
 	respSize := 0
+	var resp any
 	if served {
-		var resp any
-		resp, respSize = h(msg.From, env.payload)
-		reply.payload = resp
-		reply.ok = true
+		resp, respSize = h(msg.From, payload)
 	}
+	reply := env
+	if !env.recycle {
+		// The request envelope may still be delivered again by a duplicate
+		// fault; leave it untouched and build the reply on a fresh one.
+		reply = newEnvelope(r.n.nw)
+		reply.id, reply.method = id, method
+	} else {
+		// Reusing the request envelope for the reply: re-evaluate recycling
+		// under the fault model in force for the reply's own send.
+		reply.recycle = r.n.nw.fault.Duplicate <= 0
+	}
+	reply.isReply, reply.payload, reply.ok = true, resp, served
 	r.n.Send(msg.From, rpcKind, reply, respSize+64)
 }

@@ -157,8 +157,13 @@ type Network struct {
 	fault     LinkFault
 	trace     Trace
 	// latency holds per-message-kind delivery latency histograms, created
-	// lazily on first delivery of each kind.
+	// lazily on first delivery of each kind. lastKind/lastLatency memoize
+	// the most recent lookup: large-population traffic arrives in long runs
+	// of one kind (every DHT RPC shares "simnet.rpc"), so the per-delivery
+	// map lookup collapses to a string compare on the hot path.
 	latency      map[string]*metrics.Histogram
+	lastKind     string
+	lastLatency  *metrics.Histogram
 	deliveryPool sync.Pool
 	running      bool
 	// obs is the network's observability registry: protocol subsystems
@@ -412,6 +417,10 @@ func deliverEvent(arg any) {
 }
 
 func (nw *Network) observeLatency(kind string, lat time.Duration) {
+	if kind == nw.lastKind && nw.lastLatency != nil {
+		nw.lastLatency.Observe(lat.Seconds())
+		return
+	}
 	h, ok := nw.latency[kind]
 	if !ok {
 		// 10 ms buckets over [0, 30s): fine enough for RTT-scale traffic,
@@ -419,6 +428,7 @@ func (nw *Network) observeLatency(kind string, lat time.Duration) {
 		h = metrics.NewHistogram(0, 30, 3000)
 		nw.latency[kind] = h
 	}
+	nw.lastKind, nw.lastLatency = kind, h
 	h.Observe(lat.Seconds())
 }
 

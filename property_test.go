@@ -1,0 +1,132 @@
+// Property tests (testing/quick): for randomly drawn populations and
+// seeds, the substrates must uphold their contracts — gossip with
+// anti-entropy converges to every reachable member, the DHT resolves every
+// stored key, and any scale-sweep cell is a pure function of its seed.
+// These are the invariants the X15 scale sweep's convergence column
+// quantifies; here they are checked at property granularity.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/dht"
+	"repro/internal/experiments"
+	"repro/internal/gossip"
+	"repro/internal/simnet"
+)
+
+// quickCfg bounds the draw count (each case builds several simulated
+// worlds) and fixes the generator seed so failures reproduce.
+func quickCfg(seed int64, count int) *quick.Config {
+	return &quick.Config{MaxCount: count, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// clampPop maps an arbitrary byte to a population in [16, 64].
+func clampPop(raw uint8) int { return 16 + int(raw)%49 }
+
+// TestQuickGossipConverges: with a connected overlay and anti-entropy
+// repair enabled, every member eventually holds every published item,
+// whatever the seed and population.
+func TestQuickGossipConverges(t *testing.T) {
+	prop := func(seed int64, rawN uint8) bool {
+		n := clampPop(rawN)
+		nw := simnet.New(seed % (1 << 30))
+		members := make([]*gossip.Member, n)
+		ids := make([]simnet.NodeID, n)
+		for i := range members {
+			node := nw.AddNode()
+			ids[i] = node.ID()
+			members[i] = gossip.NewMember(node, gossip.Config{Fanout: 3, AntiEntropyInterval: 30 * time.Second})
+		}
+		for i, m := range members {
+			// Ring + skip links: connected at any n, diameter O(log n).
+			m.SetPeers([]simnet.NodeID{
+				ids[(i+1)%n], ids[(i+2)%n], ids[(i+n/2)%n], ids[(i+n-1)%n],
+			})
+		}
+		const nItems = 4
+		for i := 0; i < nItems; i++ {
+			data := fmt.Sprintf("quick-item-%d", i)
+			it := gossip.Item{ID: cryptoutil.SumHash([]byte(data)), Data: data, Size: len(data)}
+			src := members[(i*7)%n]
+			nw.Schedule(time.Duration(i)*10*time.Second, func() { src.Publish(it) })
+		}
+		nw.Run(10 * time.Minute)
+		for _, m := range members {
+			if m.Len() != nItems {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(1001, 6)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDHTResolvesStoredKeys: once the population has bootstrapped and
+// stores settle, every stored key resolves from every probed reader. K is
+// left at the Kademlia default (20), which exceeds these populations'
+// bucket occupancy — resolution failures would mean routing or storage
+// logic lost data, not statistical misses.
+func TestQuickDHTResolvesStoredKeys(t *testing.T) {
+	prop := func(seed int64, rawN uint8) bool {
+		n := clampPop(rawN)
+		nw := simnet.New(seed % (1 << 30))
+		peers := make([]*dht.Peer, n)
+		for i := range peers {
+			peers[i] = dht.NewPeer(nw.AddNode(), dht.Key{}, dht.Config{})
+		}
+		for i := 1; i < n; i++ {
+			p := peers[i]
+			nw.After(time.Duration(i)*50*time.Millisecond, func() {
+				p.Bootstrap(peers[0].Contact(), nil)
+			})
+		}
+		nw.RunAll()
+		const nKeys = 5
+		keys := make([]dht.Key, nKeys)
+		for i := range keys {
+			keys[i] = cryptoutil.SumHash([]byte(fmt.Sprintf("quick-key-%d", i)))
+			peers[i%n].Put(keys[i], []byte{byte(i)}, nil)
+		}
+		nw.RunAll()
+		ok := true
+		for r := 1; r < n; r += 7 {
+			for _, k := range keys {
+				found := false
+				peers[r].Get(k, func(_ []byte, f bool) { found = f })
+				nw.RunAll()
+				if !found {
+					ok = false
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(prop, quickCfg(2002, 6)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickScaleCellDeterministic: a scale-sweep cell run twice with the
+// same (subsystem, seed, N) yields identical convergence and traffic —
+// the invariant the bench gate's byte-exact comparison rests on.
+func TestQuickScaleCellDeterministic(t *testing.T) {
+	subs := experiments.ScaleSubsystems()
+	prop := func(seed int64, rawN uint8, which uint8) bool {
+		n := clampPop(rawN) + 20 // [36, 84]: big enough for every subsystem
+		sub := subs[int(which)%len(subs)]
+		a := experiments.ScaleCellRun(sub, seed%(1<<30), n)
+		b := experiments.ScaleCellRun(sub, seed%(1<<30), n)
+		return a.Converged == b.Converged && a.Messages == b.Messages
+	}
+	if err := quick.Check(prop, quickCfg(3003, 6)); err != nil {
+		t.Error(err)
+	}
+}

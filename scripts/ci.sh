@@ -24,4 +24,11 @@ echo "bench gate: running deterministic bench (seed 42, full scale)"
 "$tmp/benchdiff" BENCH_baseline.json "$tmp/bench.json"
 "$tmp/benchdiff" BENCH_baseline.json BENCH_PR3.json
 
+# The 10k-node tier (make scale) is nightly-style work: run it only when
+# asked, so the merge gate stays fast.
+if [ "${CI_SCALE:-0}" = "1" ]; then
+	echo "scale gate: big tier + race on the small tier"
+	make scale
+fi
+
 echo "ci.sh: all gates passed"
