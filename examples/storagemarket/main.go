@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/chain"
 	"repro/internal/cryptoutil"
+	"repro/internal/resil"
 	"repro/internal/simnet"
 	"repro/internal/storage"
 )
@@ -71,7 +72,10 @@ func main() {
 		refs[i] = a.Ref
 	}
 	data := append([]byte("contracted data: "), bytes.Repeat([]byte("x"), 4000)...)
-	client := storage.NewClient(nw.AddNode(), 30*time.Second)
+	// Providers sit on lossy home-broadband links, so the client rides the
+	// adaptive transport: a dropped put is retried at the estimated RTO
+	// instead of failing the whole placement.
+	client := storage.NewClientWith(nw.AddNode(), 30*time.Second, resil.Defaults())
 	var m *storage.Manifest
 	var pl *storage.Placement
 	client.UploadErasure(data, 2, 2, refs, func(mm *storage.Manifest, pp *storage.Placement, err error) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/resil"
 	"repro/internal/simnet"
 	"repro/internal/simnet/fault"
 )
@@ -97,5 +98,101 @@ func TestDHTConformanceDeterministic(t *testing.T) {
 	sc, _ := fault.ByName("rolling-churn")
 	if a, b := dhtConformanceRun(t, 77, sc), dhtConformanceRun(t, 77, sc); a != b {
 		t.Errorf("same seed gave different success rates: %v vs %v", a, b)
+	}
+}
+
+// dhtMidFaultRun measures availability *during* the fault window rather
+// than after it: a resilient probe peer issues a PUT of a fresh key at a
+// fixed cadence while the scenario is active, and a probe counts as
+// available iff the store round completes with at least one replica
+// within the 2s SLA. A PUT is the honest probe here — a FIND_VALUE's
+// α-parallel first-found-wins lookup hides individual peer timeouts.
+func dhtMidFaultRun(t testing.TB, seed int64, sc fault.Scenario, rcfg resil.Config) float64 {
+	t.Helper()
+	const (
+		nPeers  = 16
+		nProbes = 8
+		horizon = 30 * time.Minute
+		sla     = 2 * time.Second
+	)
+	nw := simnet.New(seed)
+	base := Config{K: 4, RequestTimeout: 3 * time.Second, RepublishInterval: 5 * time.Minute}
+	proberCfg := base
+	proberCfg.Resilience = rcfg
+	proberCfg.RepublishInterval = 0 // probe keys are one-shot; no republish chatter
+	peers := make([]*Peer, nPeers)
+	for i := range peers {
+		cfg := base
+		if i == 1 {
+			cfg = proberCfg
+		}
+		peers[i] = NewPeer(nw.AddNode(), Key{}, cfg)
+	}
+	for i := 1; i < nPeers; i++ {
+		i := i
+		nw.After(time.Duration(i)*200*time.Millisecond, func() {
+			peers[i].Bootstrap(peers[0].Contact(), nil)
+		})
+	}
+	nw.Run(time.Duration(nPeers) * 400 * time.Millisecond)
+
+	// Anchors: the bootstrap peer and the prober stay healthy; everyone
+	// else is fault-eligible.
+	eligible := make([]simnet.NodeID, 0, nPeers-2)
+	for _, p := range peers[2:] {
+		eligible = append(eligible, p.Node().ID())
+	}
+	start := nw.Now()
+	plan := sc.Build(seed, eligible, horizon)
+	plan.ApplyAt(nw, start)
+	ws, we := plan.Start(), plan.End()
+	if we <= ws { // clean plan: probe the whole horizon
+		ws, we = 0, horizon
+	}
+
+	ok, total := 0, 0
+	for i := 0; i < nProbes; i++ {
+		i := i
+		total++
+		nw.Schedule(start+ws+time.Duration(i)*(we-ws)/nProbes, func() {
+			launched := nw.Now()
+			k := cryptoutil.SumHash([]byte(fmt.Sprintf("midfault-%d", i)))
+			peers[1].Put(k, []byte{byte(i)}, func(stored int) {
+				if stored > 0 && nw.Now()-launched <= sla {
+					ok++
+				}
+			})
+		})
+	}
+	nw.Run(start + horizon)
+	return float64(ok) / float64(total)
+}
+
+// TestDHTMidFaultAvailability: with the resilience layer on, publishes
+// issued while the scenario is actively crashing, partitioning, and
+// degrading peers must still land within the interactive SLA at the
+// per-scenario floor — availability during adversity, not just recovery
+// after it, is the conformance bar.
+func TestDHTMidFaultAvailability(t *testing.T) {
+	// flash-partition's floor is deliberately low: while a partition pulse
+	// actively separates the prober from a key's replica set, no transport
+	// adaptation can complete the store — the floor only pins that probes
+	// landing between pulses still succeed.
+	floors := map[string]float64{
+		"clean":           1.0,
+		"lossy-edge":      0.5,
+		"flash-partition": 0.1,
+		"rolling-churn":   0.5,
+		"corrupt-10pct":   0.5,
+	}
+	for _, sc := range fault.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			got := dhtMidFaultRun(t, 407, sc, resil.Defaults())
+			if floor := floors[sc.Name]; got < floor {
+				t.Errorf("mid-fault put availability %.2f below floor %.2f", got, floor)
+			}
+			t.Logf("mid-fault availability %.2f", got)
+		})
 	}
 }

@@ -91,7 +91,7 @@ func (ls *lookupState) query(c Contact) {
 		method = methodFindValue
 	}
 	req := findNodeReq{From: ls.p.Contact(), Target: ls.target}
-	ls.p.rpc.Call(c.Addr, method, req, 80, ls.p.cfg.RequestTimeout, func(resp any, err error) {
+	ls.p.res.Call(c.Addr, method, req, 80, ls.p.cfg.RequestTimeout, func(resp any, err error) {
 		ls.inflight--
 		if ls.finished {
 			return

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cryptoutil"
 	"repro/internal/obs"
+	"repro/internal/resil"
 	"repro/internal/simnet"
 )
 
@@ -18,6 +19,10 @@ type Config struct {
 	TTL            time.Duration // stored value lifetime; 0 = no expiry
 	// RepublishInterval re-stores locally published values; 0 disables.
 	RepublishInterval time.Duration
+	// Resilience tunes the adaptive retry/hedging layer on every client
+	// RPC (lookup queries, stores, refresh pings). The zero value keeps
+	// the historical fixed-RequestTimeout behaviour.
+	Resilience resil.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +76,7 @@ type storedValue struct {
 type Peer struct {
 	cfg   Config
 	rpc   *simnet.RPCNode
+	res   *resil.Client // client-path RPCs go through the resilience layer
 	id    Key
 	rt    *routingTable
 	store map[Key]storedValue
@@ -126,6 +132,7 @@ func NewPeer(node *simnet.Node, id Key, cfg Config) *Peer {
 		published: map[Key][]byte{},
 		m:         metricsFor(node.Obs()),
 	}
+	p.res = resil.New(p.rpc, p.cfg.Resilience)
 	p.rt = newRoutingTable(id, p.cfg.K)
 	p.rpc.Serve(methodPing, p.onPing)
 	p.rpc.Serve(methodFindNode, p.onFindNode)
@@ -163,7 +170,7 @@ func (p *Peer) observe(c Contact) {
 		return
 	}
 	old := *candidate
-	p.rpc.Call(old.Addr, methodPing, p.Contact(), 40, p.cfg.RequestTimeout, func(_ any, err error) {
+	p.res.Call(old.Addr, methodPing, p.Contact(), 40, p.cfg.RequestTimeout, func(_ any, err error) {
 		if err != nil {
 			p.rt.evict(old, c) // stale occupant: newcomer takes the slot
 		} else {
@@ -257,7 +264,7 @@ func (p *Peer) putOnce(key Key, value []byte, done func(stored int)) {
 			req := storeReq{From: p.Contact(), Key: key, Value: value}
 			p.stats.StoresSent++
 			p.m.stores.Inc()
-			p.rpc.Call(c.Addr, methodStore, req, 48+len(value), p.cfg.RequestTimeout, func(resp any, err error) {
+			p.res.Call(c.Addr, methodStore, req, 48+len(value), p.cfg.RequestTimeout, func(resp any, err error) {
 				pending--
 				if err == nil {
 					if okResp, ok := resp.(bool); ok && okResp {

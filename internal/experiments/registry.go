@@ -154,6 +154,14 @@ func Registry() []Experiment {
 			},
 			Tiny: func(seed int64) fmt.Stringer { return ScaleSweep(seed, true) },
 		},
+		{
+			ID: "x16", Desc: "X16: resilience matrix, subsystem × fault scenario, naive vs adaptive transport",
+			Run: func(seed int64) fmt.Stringer { return ResilienceMatrix(seed) },
+			Multi: func(seeds []int64, workers int) fmt.Stringer {
+				return ResilienceMatrixMulti(seeds, workers)
+			},
+			Tiny: func(seed int64) fmt.Stringer { return ResilienceMatrixTiny(seed) },
+		},
 	}
 }
 

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// x16Bench runs the X16 resilience matrix as a multi-trial bench entry at
+// the tiny world sizes (the worker-invariance property is about merge
+// ordering, not population size) and returns the snapshot JSON.
+func x16Bench(t *testing.T, workers int) []byte {
+	t.Helper()
+	e := Experiment{
+		ID:  "x16",
+		Run: func(seed int64) fmt.Stringer { return ResilienceMatrixTiny(seed) },
+		Multi: func(seeds []int64, workers int) fmt.Stringer {
+			agg := AggregateSeeds(seeds, workers, func(seed int64) Matrix {
+				return resilienceMatrix(seed, true)
+			})
+			return agg.Table("X16 (tiny multi)", "Subsystem/mode", "%.1f")
+		},
+		Tiny: func(seed int64) fmt.Stringer { return ResilienceMatrixTiny(seed) },
+	}
+	entry := runBenchEntry(e, BenchOptions{Seed: 1616, Trials: 3, Workers: workers, Scale: "full"}.withDefaults())
+	var buf bytes.Buffer
+	if err := entry.Metrics.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestX16BenchGolden pins the fixed-seed X16 observability snapshot —
+// including the resil.* retry/hedge/breaker counters, whose values encode
+// every adaptive decision the layer made — byte for byte: identical
+// across repeated runs, across trial worker counts, and against the
+// checked-in golden file. Regenerate with
+// `go test ./internal/experiments -run X16BenchGolden -update` after an
+// intentional behaviour change.
+func TestX16BenchGolden(t *testing.T) {
+	serial := x16Bench(t, 1)
+	parallel := x16Bench(t, 4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("X16 snapshot differs between 1 and 4 trial workers")
+	}
+
+	golden := filepath.Join("testdata", "x16_bench_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, serial, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(serial, want) {
+		t.Fatalf("X16 snapshot drifted from %s; if intentional, rerun with -update\ngot:\n%s", golden, serial)
+	}
+}
+
+// TestX16ResilientBeatsNaive pins the experiment's headline claim: with
+// the same seed, worlds, and fault plans, the adaptive transport's
+// mid-fault availability is strictly higher than the naive fixed-timeout
+// transport's on the lossy-edge and rolling-churn scenarios, and never
+// worse on any other scenario by more than a small tolerance.
+func TestX16ResilientBeatsNaive(t *testing.T) {
+	m := resilienceMatrix(4242, true)
+	scs := resilScenarios()
+	col := func(name, measure string) int {
+		for c, cn := range m.Cols {
+			if cn == name+" "+measure {
+				return c
+			}
+		}
+		t.Fatalf("column %s %s not found", name, measure)
+		return -1
+	}
+	row := func(name string) int {
+		for r, rn := range m.Rows {
+			if rn == name {
+				return r
+			}
+		}
+		t.Fatalf("row %s not found", name)
+		return -1
+	}
+	subsystems := []string{"dht", "storage", "groupcomm", "webapp"}
+	// Per cell, resil may trail naive by at most two of the tiny run's
+	// eight probes: the layer's extra traffic shifts the shared loss/latency
+	// draw stream, so individual probes land differently, but adaptation
+	// must never cost real availability.
+	for _, sub := range subsystems {
+		naive, res := row(sub+" naive"), row(sub+" resil")
+		for _, sc := range scs {
+			c := col(sc.Name, "avail%")
+			nv, rv := m.Vals[naive][c], m.Vals[res][c]
+			if rv < nv-25 {
+				t.Errorf("%s %s: resil availability %.1f%% < naive %.1f%%", sub, sc.Name, rv, nv)
+			}
+		}
+	}
+	// The headline: summed over subsystems, the resilient transport is
+	// strictly more available during lossy-edge and rolling-churn faults.
+	for _, scName := range []string{"lossy-edge", "rolling-churn"} {
+		c := col(scName, "avail%")
+		var nv, rv float64
+		for _, sub := range subsystems {
+			nv += m.Vals[row(sub+" naive")][c]
+			rv += m.Vals[row(sub+" resil")][c]
+		}
+		if !(rv > nv) {
+			t.Errorf("%s: aggregate resil availability %.1f does not beat naive %.1f", scName, rv, nv)
+		}
+	}
+}

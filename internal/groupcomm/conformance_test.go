@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/gossip"
+	"repro/internal/resil"
 	"repro/internal/simnet"
 	"repro/internal/simnet/fault"
 )
@@ -77,5 +79,92 @@ func TestSocialConformanceDeterministic(t *testing.T) {
 	sc, _ := fault.ByName("flash-partition")
 	if a, b := socialConformanceRun(t, 99, sc), socialConformanceRun(t, 99, sc); a != b {
 		t.Errorf("same seed gave different ratios: %v vs %v", a, b)
+	}
+}
+
+// replMidFaultRun measures federation availability during the fault
+// window: a resilient failover client fetches the room timeline at a
+// fixed cadence while every replica server is fault-eligible, and a probe
+// counts as available iff the fetch returns the pre-fault posts within
+// the 8s SLA.
+func replMidFaultRun(t testing.TB, seed int64, sc fault.Scenario, rcfg resil.Config) float64 {
+	t.Helper()
+	const (
+		nServers = 6
+		nProbes  = 8
+		horizon  = 30 * time.Minute
+		sla      = 8 * time.Second
+	)
+	nw := simnet.New(seed)
+	servers := make([]*ReplServer, nServers)
+	ids := make([]simnet.NodeID, nServers)
+	for i := range servers {
+		servers[i] = NewReplServer(nw.AddNode(), fmt.Sprintf("srv%d", i), nil,
+			gossip.Config{Fanout: 3, AntiEntropyInterval: 30 * time.Second})
+		ids[i] = servers[i].Node().ID()
+	}
+	for i, s := range servers {
+		peers := make([]simnet.NodeID, 0, nServers-1)
+		for j, id := range ids {
+			if j != i {
+				peers = append(peers, id)
+			}
+		}
+		s.SetPeers(peers)
+	}
+	client := NewReplClientWith(nw.AddNode(), ids[0], ids[1:], "alice", 10*time.Second, rcfg)
+	for i := 0; i < 4; i++ {
+		i := i
+		nw.After(time.Duration(i+1)*10*time.Second, func() {
+			client.Post("lobby", []byte(fmt.Sprintf("pre-fault %d", i)), func(bool) {})
+		})
+	}
+	nw.Run(2 * time.Minute)
+
+	start := nw.Now()
+	plan := sc.Build(seed, ids, horizon)
+	plan.ApplyAt(nw, start)
+	ws, we := plan.Start(), plan.End()
+	if we <= ws { // clean plan: probe the whole horizon
+		ws, we = 0, horizon
+	}
+
+	ok, total := 0, 0
+	for i := 0; i < nProbes; i++ {
+		total++
+		nw.Schedule(start+ws+time.Duration(i)*(we-ws)/nProbes, func() {
+			launched := nw.Now()
+			client.Fetch("lobby", func(posts []Post, good bool) {
+				if good && len(posts) > 0 && nw.Now()-launched <= sla {
+					ok++
+				}
+			})
+		})
+	}
+	nw.Run(start + horizon)
+	return float64(ok) / float64(total)
+}
+
+// TestReplMidFaultAvailability: with the resilience layer on, timeline
+// reads must keep succeeding at the per-scenario floor while the replica
+// fleet is actively under fault — server-list failover and transport
+// retries together are the mechanism under test.
+func TestReplMidFaultAvailability(t *testing.T) {
+	floors := map[string]float64{
+		"clean":           1.0,
+		"lossy-edge":      0.75,
+		"flash-partition": 0.5,
+		"rolling-churn":   0.75,
+		"corrupt-10pct":   0.75,
+	}
+	for _, sc := range fault.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			got := replMidFaultRun(t, 409, sc, resil.Defaults())
+			if floor := floors[sc.Name]; got < floor {
+				t.Errorf("mid-fault fetch availability %.2f below floor %.2f", got, floor)
+			}
+			t.Logf("mid-fault availability %.2f", got)
+		})
 	}
 }

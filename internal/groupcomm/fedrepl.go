@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/gossip"
+	"repro/internal/resil"
 	"repro/internal/simnet"
 )
 
@@ -94,6 +95,7 @@ func (s *ReplServer) onFetch(from simnet.NodeID, req any) (any, int) {
 // server list.
 type ReplClient struct {
 	rpc     *simnet.RPCNode
+	res     *resil.Client
 	home    simnet.NodeID
 	servers []simnet.NodeID // failover order for reads
 	user    UserID
@@ -101,9 +103,18 @@ type ReplClient struct {
 }
 
 // NewReplClient creates a client homed on home, aware of the full server
-// list for read failover.
+// list for read failover, on the historical fixed-timeout transport.
 func NewReplClient(node *simnet.Node, home simnet.NodeID, servers []simnet.NodeID, user UserID, timeout time.Duration) *ReplClient {
-	return &ReplClient{rpc: simnet.NewRPCNode(node), home: home, servers: servers, user: user, timeout: timeout}
+	return NewReplClientWith(node, home, servers, user, timeout, resil.Config{})
+}
+
+// NewReplClientWith is NewReplClient with an explicit resilience
+// configuration: posts and fetch failover legs ride the adaptive
+// retry/breaker layer, so a crashed homeserver is suspected instead of
+// eating a full timeout on every read.
+func NewReplClientWith(node *simnet.Node, home simnet.NodeID, servers []simnet.NodeID, user UserID, timeout time.Duration, rcfg resil.Config) *ReplClient {
+	rpc := simnet.NewRPCNode(node)
+	return &ReplClient{rpc: rpc, res: resil.New(rpc, rcfg), home: home, servers: servers, user: user, timeout: timeout}
 }
 
 // Post publishes through the user's home server; it fails if the home
@@ -111,7 +122,7 @@ func NewReplClient(node *simnet.Node, home simnet.NodeID, servers []simnet.NodeI
 // residual centralization in Matrix).
 func (c *ReplClient) Post(room string, body []byte, done func(ok bool)) {
 	p := NewPost(room, c.user, body, c.rpc.Node().Network().Now())
-	c.rpc.Call(c.home, methodReplPost, p, p.WireSize(), c.timeout, func(resp any, err error) {
+	c.res.Call(c.home, methodReplPost, p, p.WireSize(), c.timeout, func(resp any, err error) {
 		ok, _ := resp.(bool)
 		done(err == nil && ok)
 	})
@@ -128,7 +139,7 @@ func (c *ReplClient) tryFetch(room string, order []simnet.NodeID, i int, done fu
 		done(nil, false)
 		return
 	}
-	c.rpc.Call(order[i], methodReplFetch, room, 32, c.timeout, func(resp any, err error) {
+	c.res.Call(order[i], methodReplFetch, room, 32, c.timeout, func(resp any, err error) {
 		if err != nil {
 			c.tryFetch(room, order, i+1, done)
 			return

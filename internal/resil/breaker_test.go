@@ -1,0 +1,136 @@
+package resil
+
+import (
+	"testing"
+	"time"
+)
+
+func brkCfg() BreakerConfig {
+	return Config{Enabled: true}.withDefaults().Breaker
+}
+
+func TestBreakerConsecutiveTrip(t *testing.T) {
+	b := NewBreaker(brkCfg())
+	now := time.Duration(0)
+	if !b.Allow(now) {
+		t.Fatal("fresh breaker refused a call")
+	}
+	for i := 0; i < brkCfg().Trip-1; i++ {
+		if b.Failure(now) {
+			t.Fatalf("breaker opened after %d failures, trip is %d", i+1, brkCfg().Trip)
+		}
+	}
+	if !b.Failure(now) {
+		t.Fatal("breaker did not open at the trip threshold")
+	}
+	if b.State() != BreakerOpen || b.Opens() != 1 {
+		t.Fatalf("state=%v opens=%d after trip", b.State(), b.Opens())
+	}
+	if b.Allow(now + brkCfg().Cooldown/2) {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	cfg := brkCfg()
+	b := NewBreaker(cfg)
+	now := time.Duration(0)
+	for i := 0; i < cfg.Trip; i++ {
+		b.Failure(now)
+	}
+	probeAt := now + cfg.Cooldown
+	if !b.Allow(probeAt) {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", b.State())
+	}
+	if b.Allow(probeAt) {
+		t.Fatal("second call admitted while probe outstanding")
+	}
+	// Probe failure: re-open with doubled cooldown.
+	if !b.Failure(probeAt) {
+		t.Fatal("half-open probe failure did not re-open")
+	}
+	if b.Allow(probeAt + cfg.Cooldown) {
+		t.Fatal("re-opened breaker ignored the doubled cooldown")
+	}
+	if !b.Allow(probeAt + 2*cfg.Cooldown) {
+		t.Fatal("doubled cooldown elapsed but no probe admitted")
+	}
+	// Probe success: closed, ladder reset.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+	if b.cooldown != cfg.Cooldown {
+		t.Fatalf("cooldown ladder not reset: %v", b.cooldown)
+	}
+}
+
+func TestBreakerCooldownCap(t *testing.T) {
+	cfg := brkCfg()
+	b := NewBreaker(cfg)
+	now := time.Duration(0)
+	for i := 0; i < cfg.Trip; i++ {
+		b.Failure(now)
+	}
+	// Fail every probe; the cooldown must stop doubling at MaxCooldown.
+	for i := 0; i < 8; i++ {
+		now += b.cooldown
+		if !b.Allow(now) {
+			t.Fatalf("probe %d not admitted after cooldown", i)
+		}
+		b.Failure(now)
+	}
+	if b.cooldown != cfg.MaxCooldown {
+		t.Fatalf("cooldown = %v, want capped at %v", b.cooldown, cfg.MaxCooldown)
+	}
+}
+
+func TestBreakerRateTrip(t *testing.T) {
+	// Isolate the decayed-rate path: a huge Trip keeps the consecutive
+	// counter out of play, so only the EWMA success rate can open.
+	cfg := brkCfg()
+	cfg.Trip = 100
+	b := NewBreaker(cfg)
+	now := time.Duration(0)
+	// A 2:1 failure ratio decays the rate toward ~1/3, above the 0.2
+	// floor: the breaker must stay closed however long it runs.
+	for i := 0; i < 40; i++ {
+		b.Success()
+		b.Failure(now)
+		b.Failure(now)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("rate path tripped at a ~33% success rate, floor is 20%")
+	}
+	// An 8:1 ratio sinks the rate well under the floor; the rate path must
+	// open the breaker long before 100 consecutive failures.
+	opened := false
+	for i := 0; i < 10 && !opened; i++ {
+		b.Success()
+		for j := 0; j < 8; j++ {
+			if b.Failure(now) {
+				opened = true
+				break
+			}
+		}
+	}
+	if !opened || b.consec >= cfg.Trip {
+		t.Fatalf("decayed-rate trip: opened=%v consec=%d", opened, b.consec)
+	}
+}
+
+func TestBreakerMinSamplesGate(t *testing.T) {
+	cfg := brkCfg()
+	cfg.Trip = 100
+	b := NewBreaker(cfg)
+	// Fewer outcomes than MinSamples: the rate path must hold fire even at
+	// a 0% success rate.
+	for i := 0; i < cfg.MinSamples-1; i++ {
+		if b.Failure(0) {
+			t.Fatalf("rate path tripped on outcome %d, MinSamples is %d", i+1, cfg.MinSamples)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package resil
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simnet"
+)
+
+// ErrSuspected is the fast-fail cause reported when an open breaker
+// refuses a call locally instead of burning a timeout on a suspected-dead
+// peer. Matchable with errors.Is.
+var ErrSuspected = errors.New("resil: peer suspected down")
+
+// Client wraps a simnet RPC endpoint with the resilience layer: adaptive
+// per-peer RTO, bounded retries with deterministic backoff, per-peer
+// circuit breaking, and hedged requests. One Client serves one caller
+// node; peer state (estimator, breaker) is keyed by target node id.
+type Client struct {
+	rpc *simnet.RPCNode
+	cfg Config
+	bo  Backoff
+	est map[simnet.NodeID]*Estimator
+	brk map[simnet.NodeID]*Breaker
+	// global aggregates every sample across peers; it seeds fresh per-peer
+	// estimators so a never-contacted peer starts from the client's measured
+	// reality instead of the cold-start Initial.
+	global *Estimator
+	m      *resilMetrics
+	seq    uint64 // per-client operation counter, keys backoff jitter
+}
+
+// resilMetrics is the package's network-scoped metric bundle, resolved
+// once per registry via Memo (see DESIGN.md §6 for the name table).
+type resilMetrics struct {
+	rto         *obs.Histogram
+	hedgeFired  *obs.Counter
+	hedgeWon    *obs.Counter
+	breakerOpen *obs.Counter
+	retries     *obs.Counter
+	fastfail    *obs.Counter
+}
+
+func metricsFor(r *obs.Registry) *resilMetrics {
+	return r.Memo("resil", func() any {
+		return &resilMetrics{
+			rto:         r.Histogram("resil.rto_s"),
+			hedgeFired:  r.Counter("resil.hedge.fired"),
+			hedgeWon:    r.Counter("resil.hedge.won"),
+			breakerOpen: r.Counter("resil.breaker.open"),
+			retries:     r.Counter("resil.retry.count"),
+			fastfail:    r.Counter("resil.fastfail.count"),
+		}
+	}).(*resilMetrics)
+}
+
+// New wraps rpc with the layer configured by cfg. A disabled config makes
+// the Client a pure passthrough: no metrics are registered, no state is
+// allocated, and Call forwards verbatim — so construction alone cannot
+// perturb an existing golden run.
+func New(rpc *simnet.RPCNode, cfg Config) *Client {
+	c := &Client{rpc: rpc, cfg: cfg.withDefaults()}
+	if c.cfg.Enabled {
+		node := rpc.Node()
+		c.bo = NewBackoff(c.cfg.Backoff, node.Network().Seed(), node.ID())
+		c.est = map[simnet.NodeID]*Estimator{}
+		c.brk = map[simnet.NodeID]*Breaker{}
+		c.global = NewEstimator(c.cfg.RTO)
+		c.m = metricsFor(node.Obs())
+	}
+	return c
+}
+
+// Enabled reports whether the layer is active (false means fixed-timeout
+// passthrough).
+func (c *Client) Enabled() bool { return c.cfg.Enabled }
+
+// RPC returns the wrapped endpoint.
+func (c *Client) RPC() *simnet.RPCNode { return c.rpc }
+
+func (c *Client) estimator(id simnet.NodeID) *Estimator {
+	e, ok := c.est[id]
+	if !ok {
+		e = NewEstimator(c.cfg.RTO)
+		if c.global.Samples() > 0 {
+			e.SeedPrior(c.global.RTO())
+		}
+		c.est[id] = e
+	}
+	return e
+}
+
+func (c *Client) breaker(id simnet.NodeID) *Breaker {
+	b, ok := c.brk[id]
+	if !ok {
+		b = NewBreaker(c.cfg.Breaker)
+		c.brk[id] = b
+	}
+	return b
+}
+
+// Call issues a resilient request to the target's method; the signature
+// mirrors RPCNode.Call so subsystems swap it in without restructuring.
+// done is invoked exactly once. fallback is the caller's legacy fixed
+// timeout: it is the per-attempt timeout when the layer is disabled, and
+// is ignored when enabled (the adaptive RTO takes over entirely).
+//
+// Enabled behaviour per operation: an open breaker fails fast (still
+// asynchronously, preserving callback ordering); otherwise attempts are
+// issued with the peer's current RTO as timeout, a timeout schedules the
+// next attempt after a jittered backoff up to MaxAttempts, and on the
+// first attempt a single hedge may be launched at the estimated p95 —
+// first response wins and the loser is cancelled through its CallRef so
+// its callback never runs.
+func (c *Client) Call(to simnet.NodeID, method string, req any, reqSize int, fallback time.Duration, done func(resp any, err error)) {
+	if !c.cfg.Enabled {
+		c.rpc.Call(to, method, req, reqSize, fallback, done)
+		return
+	}
+	node := c.rpc.Node()
+	if !c.cfg.Breaker.Disabled && !c.breaker(to).Allow(node.Network().Now()) {
+		c.m.fastfail.Inc()
+		err := fmt.Errorf("resil: call %s to node %d refused: %w", method, to, ErrSuspected)
+		node.After(0, func() { done(nil, err) })
+		return
+	}
+	c.seq++
+	o := &op{c: c, to: to, method: method, req: req, reqSize: reqSize, done: done, id: c.seq}
+	o.launch(false)
+}
+
+// op is one resilient operation: up to MaxAttempts timeout-driven
+// attempts plus at most one hedge, sharing a single done callback.
+type op struct {
+	c       *Client
+	to      simnet.NodeID
+	method  string
+	req     any
+	reqSize int
+	done    func(resp any, err error)
+	id      uint64
+
+	attempts     int  // timeout-driven attempts launched (1 = primary)
+	hedged       bool // hedge launched
+	retrans      bool // Karn: some attempt was retransmitted
+	retryPending bool // a backoff timer is armed
+	finished     bool
+	inflight     int
+	primary      simnet.CallRef // newest timeout-driven attempt
+	hedge        simnet.CallRef
+	hedgeTimer   simnet.Timer
+	retryTimer   simnet.Timer
+	lastErr      error
+}
+
+func (o *op) launch(isHedge bool) {
+	c := o.c
+	est := c.estimator(o.to)
+	rto := est.RTO()
+	c.m.rto.Observe(rto.Seconds())
+	o.inflight++
+	if !isHedge {
+		o.attempts++
+	}
+	ref := c.rpc.CallEx(o.to, o.method, o.req, o.reqSize, rto, func(resp any, rtt time.Duration, err error) {
+		o.complete(isHedge, resp, rtt, err)
+	})
+	if isHedge {
+		o.hedge = ref
+		return
+	}
+	o.primary = ref
+	if o.attempts == 1 && !c.cfg.Hedge.Disabled && est.Samples() >= c.cfg.Hedge.MinSamples {
+		delay := est.P95()
+		if delay < c.cfg.Hedge.MinDelay {
+			delay = c.cfg.Hedge.MinDelay
+		}
+		// A hedge at or past the RTO is pointless: the retransmit path
+		// already covers that region.
+		if delay < rto {
+			o.hedgeTimer = c.rpc.Node().AfterTimer(delay, o.fireHedge)
+		}
+	}
+}
+
+func (o *op) fireHedge() {
+	if o.finished || o.hedged {
+		return
+	}
+	o.hedged = true
+	o.c.m.hedgeFired.Inc()
+	o.launch(true)
+}
+
+func (o *op) fireRetry() {
+	if o.finished {
+		return
+	}
+	o.retryPending = false
+	o.launch(false)
+}
+
+func (o *op) complete(isHedge bool, resp any, rtt time.Duration, err error) {
+	o.inflight--
+	if o.finished {
+		return
+	}
+	c := o.c
+	if err == nil {
+		if !c.cfg.Breaker.Disabled {
+			c.breaker(o.to).Success()
+		}
+		// Karn's rule: an operation that retransmitted feeds no sample —
+		// with a doubled RTO in force, locking in samples measured under
+		// backoff would keep the estimator self-confirming. A hedge
+		// completion does sample: call ids make the reply-to-attempt
+		// mapping unambiguous, and the p95 estimate needs exactly these
+		// tail data points.
+		if !o.retrans {
+			c.estimator(o.to).Sample(rtt)
+			c.global.Sample(rtt)
+		}
+		if isHedge {
+			c.m.hedgeWon.Inc()
+		}
+		o.finish(resp, nil)
+		return
+	}
+	o.lastErr = err
+	now := c.rpc.Node().Network().Now()
+	if !c.cfg.Breaker.Disabled && c.breaker(o.to).Failure(now) {
+		c.m.breakerOpen.Inc()
+	}
+	if !errors.Is(err, simnet.ErrRPCTimeout) {
+		// A refusal (ErrNotServed) is the peer's deterministic answer and a
+		// caller crash (ErrCallerCrashed) voids the whole operation:
+		// neither is worth retrying. Any sibling attempt still in flight
+		// gets to finish first.
+		if o.inflight == 0 && !o.retryPending {
+			o.finish(nil, err)
+		}
+		return
+	}
+	c.estimator(o.to).OnTimeout()
+	if o.attempts < c.cfg.MaxAttempts && !o.retryPending {
+		o.retryPending = true
+		o.retrans = true
+		c.m.retries.Inc()
+		o.retryTimer = c.rpc.Node().AfterTimer(c.bo.Delay(o.id, o.attempts), o.fireRetry)
+		return
+	}
+	if o.inflight == 0 && !o.retryPending {
+		o.finish(nil, o.lastErr)
+	}
+}
+
+// finish completes the operation exactly once: pending timers are
+// cancelled, the losing attempt (if any) is cancelled through its CallRef
+// so its callback never fires, and only then does the caller's done run —
+// it may re-enter the Client immediately.
+func (o *op) finish(resp any, err error) {
+	o.finished = true
+	o.hedgeTimer.Cancel()
+	o.retryTimer.Cancel()
+	o.primary.Cancel()
+	o.hedge.Cancel()
+	o.done(resp, err)
+}

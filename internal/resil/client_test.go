@@ -1,0 +1,187 @@
+package resil
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// clientWorld is the two-node harness behind the Client tests: node 0
+// calls, node 1 serves "echo" (synchronously) and "slow" (asynchronously,
+// with a per-request delay the test scripts through delays).
+type clientWorld struct {
+	nw     *simnet.Network
+	caller *simnet.Node
+	server *simnet.Node
+	res    *Client
+	delays []time.Duration // consumed per "slow" request, in arrival order
+}
+
+func newClientWorld(t *testing.T, cfg Config) *clientWorld {
+	t.Helper()
+	w := &clientWorld{nw: simnet.New(7)}
+	w.caller = w.nw.AddNode()
+	w.server = w.nw.AddNode()
+	srv := simnet.NewRPCNode(w.server)
+	srv.Serve("echo", func(from simnet.NodeID, req any) (any, int) {
+		return req, 16
+	})
+	srv.ServeAsync("slow", func(from simnet.NodeID, req any, reply func(resp any, respSize int)) {
+		d := time.Duration(0)
+		if len(w.delays) > 0 {
+			d, w.delays = w.delays[0], w.delays[1:]
+		}
+		w.server.After(d, func() { reply(req, 16) })
+	})
+	w.res = New(simnet.NewRPCNode(w.caller), cfg)
+	return w
+}
+
+// call issues one resilient call and runs the network until it completes.
+func (w *clientWorld) call(t *testing.T, method string, fallback time.Duration) (any, error) {
+	t.Helper()
+	var gotResp any
+	var gotErr error
+	calls := 0
+	w.res.Call(w.server.ID(), method, "ping", 16, fallback, func(resp any, err error) {
+		calls++
+		gotResp, gotErr = resp, err
+	})
+	// RunAll is safe here: the harness schedules no recurring timers, so
+	// the queue drains once the operation (and any late replies) settle —
+	// and the clock stays at the last real event, which the timing
+	// assertions below rely on.
+	w.nw.RunAll()
+	if calls != 1 {
+		t.Fatalf("done invoked %d times, want exactly once", calls)
+	}
+	return gotResp, gotErr
+}
+
+func TestClientDisabledPassthrough(t *testing.T) {
+	w := newClientWorld(t, Config{})
+	if w.res.Enabled() {
+		t.Fatal("zero Config reported enabled")
+	}
+	if resp, err := w.call(t, "echo", time.Second); err != nil || resp != "ping" {
+		t.Fatalf("passthrough echo: resp=%v err=%v", resp, err)
+	}
+	// With the server down, the only attempt times out at the caller's
+	// legacy fallback — no retry, no breaker, no state.
+	w.server.Crash()
+	start := w.nw.Now()
+	if _, err := w.call(t, "echo", 700*time.Millisecond); !errors.Is(err, simnet.ErrRPCTimeout) {
+		t.Fatalf("passthrough timeout err = %v", err)
+	}
+	if got := w.nw.Now() - start; got != 700*time.Millisecond {
+		t.Fatalf("passthrough gave up after %v, want the 700ms fallback", got)
+	}
+}
+
+func TestClientSuccessFeedsEstimator(t *testing.T) {
+	w := newClientWorld(t, Defaults())
+	if resp, err := w.call(t, "echo", time.Second); err != nil || resp != "ping" {
+		t.Fatalf("echo: resp=%v err=%v", resp, err)
+	}
+	e := w.res.estimator(w.server.ID())
+	if e.Samples() != 1 {
+		t.Fatalf("peer estimator samples = %d, want 1", e.Samples())
+	}
+	if w.res.global.Samples() != 1 {
+		t.Fatalf("global estimator samples = %d, want 1", w.res.global.Samples())
+	}
+	// A fresh peer now inherits the measured global prior, not the 1s
+	// cold-start Initial.
+	fresh := w.res.estimator(w.server.ID() + 100)
+	if fresh.RTO() != w.res.global.RTO() {
+		t.Fatalf("fresh peer RTO %v, want seeded global %v", fresh.RTO(), w.res.global.RTO())
+	}
+}
+
+func TestClientRetryAfterTimeout(t *testing.T) {
+	w := newClientWorld(t, Defaults())
+	w.server.Crash()
+	// Primary times out at the 1s initial RTO; the first backoff delay is
+	// 100ms±25%, so the server is back up before the retry is issued.
+	w.caller.After(1050*time.Millisecond, w.server.Restart)
+	if resp, err := w.call(t, "echo", time.Second); err != nil || resp != "ping" {
+		t.Fatalf("retried echo: resp=%v err=%v", resp, err)
+	}
+	if got := w.res.m.retries.Value(); got != 1 {
+		t.Fatalf("resil.retry.count = %d, want 1", got)
+	}
+	// Karn's rule: the retried operation's completion fed no RTT sample.
+	if got := w.res.estimator(w.server.ID()).Samples(); got != 0 {
+		t.Fatalf("retransmitted op fed %d samples, want 0", got)
+	}
+}
+
+func TestClientExhaustionOpensBreaker(t *testing.T) {
+	w := newClientWorld(t, Defaults())
+	w.server.Crash()
+	_, err := w.call(t, "echo", time.Second)
+	if !errors.Is(err, simnet.ErrRPCTimeout) {
+		t.Fatalf("exhausted op err = %v, want timeout", err)
+	}
+	if got := w.res.m.retries.Value(); got != int64(w.res.cfg.MaxAttempts-1) {
+		t.Fatalf("retries = %d, want %d", got, w.res.cfg.MaxAttempts-1)
+	}
+	// Three timeouts tripped the per-peer breaker; the next call is
+	// refused locally without touching the network.
+	if got := w.res.m.breakerOpen.Value(); got != 1 {
+		t.Fatalf("resil.breaker.open = %d, want 1", got)
+	}
+	sentBefore := w.nw.Trace().Sent
+	if _, err := w.call(t, "echo", time.Second); !errors.Is(err, ErrSuspected) {
+		t.Fatalf("fast-fail err = %v, want ErrSuspected", err)
+	}
+	if w.nw.Trace().Sent != sentBefore {
+		t.Fatal("fast-failed call still sent traffic")
+	}
+	if got := w.res.m.fastfail.Value(); got != 1 {
+		t.Fatalf("resil.fastfail.count = %d, want 1", got)
+	}
+}
+
+func TestClientHedgeWins(t *testing.T) {
+	w := newClientWorld(t, Defaults())
+	// Four fast completions warm the peer estimator past Hedge.MinSamples
+	// and shrink the RTO toward the 200ms Min clamp.
+	for i := 0; i < 4; i++ {
+		if _, err := w.call(t, "slow", time.Second); err != nil {
+			t.Fatalf("warm-up %d: %v", i, err)
+		}
+	}
+	if got := w.res.estimator(w.server.ID()).Samples(); got < w.res.cfg.Hedge.MinSamples {
+		t.Fatalf("warm-up left %d samples, need %d", got, w.res.cfg.Hedge.MinSamples)
+	}
+	// Fifth op: the primary's reply is held for 150ms — past the ~50ms
+	// hedge point but inside the RTO — while the hedge's reply is
+	// immediate, so the hedge fires, wins, and the primary is cancelled.
+	w.delays = []time.Duration{150 * time.Millisecond, 0}
+	if resp, err := w.call(t, "slow", time.Second); err != nil || resp != "ping" {
+		t.Fatalf("hedged call: resp=%v err=%v", resp, err)
+	}
+	if got := w.res.m.hedgeFired.Value(); got != 1 {
+		t.Fatalf("resil.hedge.fired = %d, want 1", got)
+	}
+	if got := w.res.m.hedgeWon.Value(); got != 1 {
+		t.Fatalf("resil.hedge.won = %d, want 1", got)
+	}
+	if got := w.res.m.retries.Value(); got != 0 {
+		t.Fatalf("hedged op also retried: retries = %d", got)
+	}
+}
+
+func TestClientRefusalNotRetried(t *testing.T) {
+	w := newClientWorld(t, Defaults())
+	_, err := w.call(t, "nosuch", time.Second)
+	if !errors.Is(err, simnet.ErrNotServed) {
+		t.Fatalf("unserved method err = %v, want ErrNotServed", err)
+	}
+	if got := w.res.m.retries.Value(); got != 0 {
+		t.Fatalf("refusal was retried: retries = %d", got)
+	}
+}

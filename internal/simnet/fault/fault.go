@@ -158,6 +158,18 @@ func (p *Plan) Steps() []Step {
 	return out
 }
 
+// Start returns the time of the earliest scheduled step (0 for an empty
+// plan): the point at which the plan first perturbs the network.
+func (p *Plan) Start() time.Duration {
+	var start time.Duration
+	for i, s := range p.steps {
+		if i == 0 || s.At < start {
+			start = s.At
+		}
+	}
+	return start
+}
+
 // End returns the time of the last scheduled step (0 for an empty plan):
 // the point after which the plan injects nothing further.
 func (p *Plan) End() time.Duration {

@@ -227,3 +227,72 @@ func TestCorruptScenarioManglesTraffic(t *testing.T) {
 		t.Errorf("clean scenario mangled traffic: %+v", clean)
 	}
 }
+
+// TestSustainedChurnContract: the non-healing stressor must be
+// deterministic per seed, stay inside the eligible set, keep crashing
+// past the battery's RecoveryPoint (violating that contract is its whole
+// purpose), and produce an empty plan for an empty population.
+func TestSustainedChurnContract(t *testing.T) {
+	sc := SustainedChurn()
+	const horizon = time.Hour
+	nodes := ids(12)[1:]
+	if a, b := sc.Build(42, nodes, horizon).String(), sc.Build(42, nodes, horizon).String(); a != b {
+		t.Errorf("same seed built different plans:\n%s\nvs\n%s", a, b)
+	}
+	if sc.Build(1, nodes, horizon).String() == sc.Build(2, nodes, horizon).String() {
+		t.Error("different seeds built identical churn plans")
+	}
+	p := sc.Build(7, nodes, horizon)
+	if end := p.End(); end <= RecoveryPoint(horizon) {
+		t.Errorf("sustained churn ends at %v, before the recovery point %v — it must not heal", end, RecoveryPoint(horizon))
+	}
+	if got := len(sc.Build(7, nil, horizon).steps); got != 0 {
+		t.Errorf("empty population produced %d steps", got)
+	}
+
+	// Applied to a real network, waves must only ever crash eligible nodes
+	// and every crashed node must be restarted by the plan's own steps.
+	nw := simnet.New(9)
+	for i := 0; i < 12; i++ {
+		nw.AddNode()
+	}
+	sc.Build(99, nodes, 10*time.Minute).Apply(nw)
+	nw.Run(10 * time.Minute)
+	if nw.Node(0).Crashes() != 0 {
+		t.Error("anchor node crashed despite being ineligible")
+	}
+	churned := 0
+	for _, id := range nodes {
+		if nw.Node(id).Crashes() > 0 {
+			churned++
+		}
+	}
+	if churned == 0 {
+		t.Error("no eligible node was churned")
+	}
+	for _, id := range nodes {
+		if !nw.Node(id).Up() {
+			t.Errorf("node %d still down at the end: every crash carries a restart", id)
+		}
+	}
+}
+
+// TestPlanStartEnd: Start/End bracket the plan's active window and both
+// report zero for an empty plan.
+func TestPlanStartEnd(t *testing.T) {
+	empty := NewPlan()
+	if empty.Start() != 0 || empty.End() != 0 {
+		t.Errorf("empty plan window = [%v, %v], want [0, 0]", empty.Start(), empty.End())
+	}
+	p := NewPlan().
+		CrashAt(3*time.Minute, 1).
+		RestartAt(5*time.Minute, 1).
+		PartitionAt(time.Minute, []simnet.NodeID{1}, []simnet.NodeID{2}).
+		HealAt(7 * time.Minute)
+	if p.Start() != time.Minute {
+		t.Errorf("Start = %v, want 1m", p.Start())
+	}
+	if p.End() != 7*time.Minute {
+		t.Errorf("End = %v, want 7m", p.End())
+	}
+}

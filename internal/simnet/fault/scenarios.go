@@ -40,6 +40,7 @@ const (
 	saltFlashPartition = 0xF1A5
 	saltRollingChurn   = 0xC4024
 	saltCorrupt        = 0xC0442
+	saltSustained      = 0x5C402
 )
 
 // frac returns fraction num/den of the horizon.
@@ -145,6 +146,46 @@ func CorruptTenPct() Scenario {
 					HoldBack:  200 * time.Millisecond,
 				}).
 				ClearLinkFaultAt(frac(horizon, 3, 4))
+		},
+	}
+}
+
+// SustainedChurn is the X16 stress scenario: eligible nodes crash and
+// restart in repeated staggered waves from 10% of the run until just shy
+// of the horizon, with no healed tail. It deliberately violates the
+// battery contract above (faults cleared by RecoveryPoint), so it is NOT
+// part of Scenarios() — recovery invariants cannot be asserted against
+// it. X16 appends it explicitly to measure behaviour under faults that
+// never stop.
+func SustainedChurn() Scenario {
+	return Scenario{
+		Name: "sustained-churn",
+		Desc: "repeated staggered crash/restart waves with no healed tail",
+		Build: func(seed int64, nodes []simnet.NodeID, horizon time.Duration) *Plan {
+			rng := Rand(seed, saltSustained)
+			p := NewPlan()
+			if len(nodes) == 0 {
+				return p
+			}
+			start, stop := frac(horizon, 1, 10), frac(horizon, 19, 20)
+			wave := frac(horizon, 1, 4)
+			for waveStart := start; waveStart < stop; waveStart += wave {
+				order := pick(rng, nodes, (len(nodes)+2)/3)
+				for k, id := range order {
+					crash := waveStart + wave*time.Duration(k)/time.Duration(len(order)+1)
+					outage := frac(horizon, 1, 25) + time.Duration(rng.Int63n(int64(frac(horizon, 1, 12))+1))
+					if crash >= stop {
+						break
+					}
+					restart := crash + outage
+					if restart > stop {
+						restart = stop
+					}
+					p.CrashAt(crash, id)
+					p.RestartAt(restart, id)
+				}
+			}
+			return p
 		},
 	}
 }

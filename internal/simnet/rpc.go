@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -40,6 +41,22 @@ type rpcEnvelope struct {
 
 var envPool = sync.Pool{New: func() any { return new(rpcEnvelope) }}
 
+// envReleaseHook, when non-nil, observes every envelope actually returned
+// to the pool (it still sees the envelope's fields — it runs before the
+// zeroing). Tests use it to pin the exactly-once recycle invariant across
+// the reply, late-reply, and cancellation paths; it is nil in production.
+var envReleaseHook func(*rpcEnvelope)
+
+// Sentinel RPC failure causes, matchable with errors.Is. The resilience
+// layer (internal/resil) keys retry decisions off them: a timeout may be a
+// lost message and is worth retrying, while a refusal is the callee's
+// deterministic answer and a caller crash invalidates the whole operation.
+var (
+	ErrRPCTimeout    = errors.New("rpc timeout")
+	ErrNotServed     = errors.New("method not served")
+	ErrCallerCrashed = errors.New("caller crashed")
+)
+
 // newEnvelope returns a pooled envelope stamped with its recycling
 // eligibility under the network's current fault model. Duplication is
 // decided per message at send time, so an envelope sent while Duplicate is
@@ -54,6 +71,9 @@ func newEnvelope(nw *Network) *rpcEnvelope {
 func releaseEnvelope(env *rpcEnvelope) {
 	if !env.recycle {
 		return
+	}
+	if envReleaseHook != nil {
+		envReleaseHook(env)
 	}
 	*env = rpcEnvelope{}
 	envPool.Put(env)
@@ -75,12 +95,16 @@ type RPCNode struct {
 // argument of the closure-free timeout event, so it carries everything the
 // timeout handler needs; records recycle through a pool once finished.
 type pendingCall struct {
-	r       *RPCNode
-	id      uint64
-	method  string
-	to      NodeID
-	wait    time.Duration
-	done    func(resp any, err error)
+	r      *RPCNode
+	id     uint64
+	method string
+	to     NodeID
+	wait   time.Duration
+	sentAt time.Duration // global virtual time at issue, for RTT reporting
+	done   func(resp any, err error)
+	// doneEx, when non-nil, is the RTT-reporting completion callback issued
+	// through CallEx; exactly one of done/doneEx is set per call.
+	doneEx  func(resp any, rtt time.Duration, err error)
 	timeout Timer // cancelled when the reply lands, so no dead event lingers
 	// finished guards against double completion (reply after timeout, crash
 	// after reply); it is reset when the record is reused.
@@ -113,9 +137,13 @@ func rpcTimeoutEvent(arg any) {
 	}
 	pc.finished = true
 	delete(pc.r.pending, pc.id)
-	done := pc.done
-	err := fmt.Errorf("simnet: call %s to node %d timed out after %v", pc.method, pc.to, pc.wait)
+	done, doneEx := pc.done, pc.doneEx
+	err := fmt.Errorf("simnet: call %s to node %d timed out after %v: %w", pc.method, pc.to, pc.wait, ErrRPCTimeout)
 	releasePending(pc)
+	if doneEx != nil {
+		doneEx(nil, 0, err)
+		return
+	}
 	done(nil, err)
 }
 
@@ -165,9 +193,14 @@ func NewRPCNode(n *Node) *RPCNode {
 				continue
 			}
 			pc.finish()
-			done := pc.done
+			done, doneEx := pc.done, pc.doneEx
 			releasePending(pc)
-			done(nil, fmt.Errorf("simnet: node %d crashed with call in flight", n.ID()))
+			err := fmt.Errorf("simnet: node %d crashed with call in flight: %w", n.ID(), ErrCallerCrashed)
+			if doneEx != nil {
+				doneEx(nil, 0, err)
+				continue
+			}
+			done(nil, err)
 		}
 	})
 	return r
@@ -189,10 +222,54 @@ func (r *RPCNode) ServeAsync(method string, h RPCAsyncHandler) { r.asyncServers[
 // method. The timeout is a cancellable timer: a reply (or caller crash)
 // removes it from the event queue instead of leaving it to fire dead.
 func (r *RPCNode) Call(to NodeID, method string, req any, reqSize int, timeout time.Duration, done func(resp any, err error)) {
+	r.start(to, method, req, reqSize, timeout, done, nil)
+}
+
+// CallRef is a cancellable handle on an outstanding call issued through
+// CallEx. The zero value is inert.
+type CallRef struct {
+	r  *RPCNode
+	id uint64
+}
+
+// Cancel abandons the referenced call if it is still outstanding: the
+// timeout timer is removed, the pending record is recycled, and the
+// completion callback is never invoked. A reply arriving later for the
+// cancelled id is dropped by the usual late-reply path, which still
+// releases its envelope exactly once. Call ids are never reused, so a
+// stale ref (the call completed, its record repooled) is a no-op. Reports
+// whether an outstanding call was actually cancelled.
+func (cr CallRef) Cancel() bool {
+	if cr.r == nil {
+		return false
+	}
+	pc, ok := cr.r.pending[cr.id]
+	if !ok || pc.finished {
+		return false
+	}
+	pc.finish()
+	delete(cr.r.pending, cr.id)
+	releasePending(pc)
+	return true
+}
+
+// CallEx is Call with per-call RTT reporting and a cancellable handle:
+// done additionally receives the measured round-trip time on the global
+// virtual clock (meaningful only when err is nil), and the returned
+// CallRef can abandon the call — the hook the resilience layer's hedged
+// requests use to cancel the losing attempt.
+func (r *RPCNode) CallEx(to NodeID, method string, req any, reqSize int, timeout time.Duration, done func(resp any, rtt time.Duration, err error)) CallRef {
+	return r.start(to, method, req, reqSize, timeout, nil, done)
+}
+
+// start is the shared issue path behind Call and CallEx.
+func (r *RPCNode) start(to NodeID, method string, req any, reqSize int, timeout time.Duration, done func(resp any, err error), doneEx func(resp any, rtt time.Duration, err error)) CallRef {
 	r.nextID++
 	id := r.nextID
 	pc := pendingPool.Get().(*pendingCall)
-	pc.r, pc.id, pc.method, pc.to, pc.wait, pc.done = r, id, method, to, timeout, done
+	pc.r, pc.id, pc.method, pc.to, pc.wait = r, id, method, to, timeout
+	pc.done, pc.doneEx = done, doneEx
+	pc.sentAt = r.n.nw.Now()
 	pc.finished = false
 	r.pending[id] = pc
 	env := newEnvelope(r.n.nw)
@@ -201,6 +278,7 @@ func (r *RPCNode) Call(to NodeID, method string, req any, reqSize int, timeout t
 	// The timeout runs on the caller's local clock: a fast-skewed node
 	// gives up on its peers early, a slow one hangs on.
 	pc.timeout = r.n.AfterCall(timeout, rpcTimeoutEvent, pc)
+	return CallRef{r: r, id: id}
 }
 
 func (r *RPCNode) onMessage(msg Message) {
@@ -213,14 +291,24 @@ func (r *RPCNode) onMessage(msg Message) {
 		releaseEnvelope(env)
 		pc, ok := r.pending[id]
 		if !ok || pc.finished {
-			return // late reply after timeout; drop
+			return // late reply after timeout or cancellation; drop
 		}
 		pc.finish()
 		delete(r.pending, id)
-		done := pc.done
+		done, doneEx := pc.done, pc.doneEx
+		rtt := r.n.nw.Now() - pc.sentAt
 		releasePending(pc)
 		if !served {
-			done(nil, fmt.Errorf("simnet: node %d does not serve %s", msg.From, method))
+			err := fmt.Errorf("simnet: node %d does not serve %s: %w", msg.From, method, ErrNotServed)
+			if doneEx != nil {
+				doneEx(nil, rtt, err)
+				return
+			}
+			done(nil, err)
+			return
+		}
+		if doneEx != nil {
+			doneEx(payload, rtt, nil)
 			return
 		}
 		done(payload, nil)

@@ -1,0 +1,96 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// hookReleases installs envReleaseHook for the test's duration and returns
+// a counter of envelopes actually returned to the pool.
+func hookReleases(t *testing.T) *int {
+	t.Helper()
+	n := new(int)
+	envReleaseHook = func(*rpcEnvelope) { *n++ }
+	t.Cleanup(func() { envReleaseHook = nil })
+	return n
+}
+
+// TestRPCCancelledLoserReleasesOnce pins the envelope-accounting invariant
+// the resilience layer's hedging depends on: when two concurrent calls
+// race and the loser is cancelled through its CallRef, the loser's reply
+// envelope still comes home through the late-reply path and is returned to
+// the pool exactly once — and the cancelled callback never runs.
+func TestRPCCancelledLoserReleasesOnce(t *testing.T) {
+	nw := New(11)
+	caller, server := nw.AddNode(), nw.AddNode()
+	srv := NewRPCNode(server)
+	srv.ServeAsync("get", func(from NodeID, req any, reply func(resp any, respSize int)) {
+		d := time.Duration(0)
+		if req == "slow" {
+			d = 100 * time.Millisecond
+		}
+		server.After(d, func() { reply(req, 16) })
+	})
+	releases := hookReleases(t)
+	rpc := NewRPCNode(caller)
+
+	wins, loserRan := 0, false
+	var loser CallRef
+	loser = rpc.CallEx(server.ID(), "get", "slow", 16, time.Second, func(resp any, rtt time.Duration, err error) {
+		loserRan = true
+	})
+	rpc.CallEx(server.ID(), "get", "fast", 16, time.Second, func(resp any, rtt time.Duration, err error) {
+		if err != nil {
+			t.Errorf("winner failed: %v", err)
+		}
+		wins++
+		if !loser.Cancel() {
+			t.Error("losing call was not outstanding at cancellation")
+		}
+		if loser.Cancel() {
+			t.Error("second Cancel on the same ref reported success")
+		}
+	})
+	nw.RunAll()
+
+	if wins != 1 || loserRan {
+		t.Fatalf("wins=%d loserRan=%v, want exactly one winner and a silent loser", wins, loserRan)
+	}
+	// Four envelopes recycle, each exactly once: both request envelopes on
+	// receipt at the async server, the winner's reply consumed normally,
+	// and the loser's reply dropped by the late-reply path — cancellation
+	// must not leak that last one, nor release it twice.
+	if *releases != 4 {
+		t.Fatalf("envelope releases = %d, want 4", *releases)
+	}
+}
+
+// TestRPCDuplicateFaultSkipsRecycling is the counterpart: while a
+// duplicate fault is in force a delivered envelope may be delivered again
+// off the same pointer, so none of the involved envelopes may go back to
+// the pool — a recycled duplicate would alias a zeroed struct.
+func TestRPCDuplicateFaultSkipsRecycling(t *testing.T) {
+	nw := New(12)
+	caller, server := nw.AddNode(), nw.AddNode()
+	srv := NewRPCNode(server)
+	srv.Serve("echo", func(from NodeID, req any) (any, int) { return req, 16 })
+	nw.SetLinkFault(LinkFault{Duplicate: 1})
+	releases := hookReleases(t)
+	rpc := NewRPCNode(caller)
+
+	done := 0
+	rpc.Call(server.ID(), "echo", "x", 16, time.Second, func(resp any, err error) {
+		if err != nil {
+			t.Errorf("call under duplicate fault failed: %v", err)
+		}
+		done++
+	})
+	nw.RunAll()
+
+	if done != 1 {
+		t.Fatalf("done ran %d times, want once despite duplicated delivery", done)
+	}
+	if *releases != 0 {
+		t.Fatalf("envelope releases = %d under duplicate fault, want 0", *releases)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cryptoutil"
 	"repro/internal/erasure"
 	"repro/internal/obs"
+	"repro/internal/resil"
 	"repro/internal/simnet"
 )
 
@@ -16,6 +17,7 @@ import (
 // challenges, and repairs lost redundancy.
 type Client struct {
 	rpc     *simnet.RPCNode
+	res     *resil.Client // transfer RPCs (puts, fetches) ride the resilience layer
 	timeout time.Duration
 
 	// Observability: network-wide repair volume (chunk copies restored and
@@ -25,11 +27,22 @@ type Client struct {
 	obsRepairBytes  *obs.Counter
 }
 
-// NewClient creates a storage client on node. timeout bounds individual
-// transfer RPCs (auditing uses its own deadline).
+// NewClient creates a storage client on node with the historical
+// fixed-timeout transport (no retries). timeout bounds individual transfer
+// RPCs (auditing uses its own deadline).
 func NewClient(node *simnet.Node, timeout time.Duration) *Client {
+	return NewClientWith(node, timeout, resil.Config{})
+}
+
+// NewClientWith is NewClient with an explicit resilience configuration
+// for the transfer path. Audits stay on the raw transport either way: the
+// challenge deadline is itself the proof-of-storage timing test, and
+// retrying or hedging it would hand outsourcing providers free extra time.
+func NewClientWith(node *simnet.Node, timeout time.Duration, rcfg resil.Config) *Client {
+	rpc := simnet.NewRPCNode(node)
 	return &Client{
-		rpc:             simnet.NewRPCNode(node),
+		rpc:             rpc,
+		res:             resil.New(rpc, rcfg),
 		timeout:         timeout,
 		obsRepairChunks: node.Obs().Counter("storage.repair.chunks"),
 		obsRepairBytes:  node.Obs().Counter("storage.repair.bytes"),
@@ -124,15 +137,11 @@ func (c *Client) placeChunks(chunks []Chunk, providers []ProviderRef, replicas i
 			done(pl, nil)
 		}
 	}
-	// A put travels lossy links, so a transport error gets one retry; a
-	// refusal is the provider's deterministic answer and is final.
-	var put func(ch Chunk, target ProviderRef, retries int)
-	put = func(ch Chunk, target ProviderRef, retries int) {
-		c.rpc.Call(target.Node, methodPut, putReq{Chunk: ch}, len(ch.Data)+48, c.timeout, func(resp any, err error) {
-			if err != nil && retries > 0 {
-				put(ch, target, retries-1)
-				return
-			}
+	// A put travels lossy links; transport-level retries are the
+	// resilience layer's job (NewClientWith), which also knows that a
+	// refusal is the provider's deterministic answer and final.
+	put := func(ch Chunk, target ProviderRef) {
+		c.res.Call(target.Node, methodPut, putReq{Chunk: ch}, len(ch.Data)+48, c.timeout, func(resp any, err error) {
 			pending--
 			ok, _ := resp.(bool)
 			if err != nil || !ok {
@@ -147,7 +156,7 @@ func (c *Client) placeChunks(chunks []Chunk, providers []ProviderRef, replicas i
 		for r := 0; r < replicas; r++ {
 			target := providers[(offset+ci*replicas+r)%len(providers)]
 			pending++
-			put(ch, target, 1)
+			put(ch, target)
 		}
 	}
 	if pending == 0 {
@@ -239,7 +248,7 @@ func (c *Client) fetchChunk(id cryptoutil.Hash, holders []ProviderRef, i int, do
 		done(nil, false)
 		return
 	}
-	c.rpc.Call(holders[i].Node, methodGet, id, 40, c.timeout, func(resp any, err error) {
+	c.res.Call(holders[i].Node, methodGet, id, 40, c.timeout, func(resp any, err error) {
 		if err == nil {
 			if gr, ok := resp.(getResp); ok && gr.OK && cryptoutil.SumHash(gr.Data) == id {
 				done(gr.Data, true)
@@ -536,7 +545,7 @@ func (c *Client) placeOnFresh(ch Chunk, pl *Placement, pool []ProviderRef, exclu
 			return
 		}
 		target := candidates[i]
-		c.rpc.Call(target.Node, methodPut, putReq{Chunk: ch}, len(ch.Data)+48, c.timeout, func(resp any, err error) {
+		c.res.Call(target.Node, methodPut, putReq{Chunk: ch}, len(ch.Data)+48, c.timeout, func(resp any, err error) {
 			if ok, _ := resp.(bool); err == nil && ok {
 				pl.Add(ch.ID, target)
 				placed++

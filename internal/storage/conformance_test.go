@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/resil"
 	"repro/internal/simnet"
 	"repro/internal/simnet/fault"
 )
@@ -94,5 +95,92 @@ func TestStorageConformanceDeterministic(t *testing.T) {
 	a2, ok2 := storageConformanceRun(t, 55, sc)
 	if a1 != a2 || ok1 != ok2 {
 		t.Errorf("same seed diverged: (%v,%v) vs (%v,%v)", a1, ok1, a2, ok2)
+	}
+}
+
+// storageMidFaultRun measures availability during the fault window: a
+// resilient client downloads the pre-uploaded object at a fixed cadence
+// while providers crash, partition, and degrade, and a probe counts as
+// available iff the full object round-trips within the 10s SLA.
+func storageMidFaultRun(t testing.TB, seed int64, sc fault.Scenario, rcfg resil.Config) float64 {
+	t.Helper()
+	const (
+		nProviders = 6
+		nProbes    = 8
+		horizon    = 30 * time.Minute
+		sla        = 10 * time.Second
+	)
+	nw := simnet.New(seed)
+	client := NewClientWith(nw.AddNode(), 30*time.Second, rcfg)
+	providers := make([]*Provider, nProviders)
+	refs := make([]ProviderRef, nProviders)
+	eligible := make([]simnet.NodeID, nProviders)
+	for i := range providers {
+		providers[i] = NewProvider(nw.AddNode(), 1<<20, Honest)
+		refs[i] = providers[i].Ref()
+		eligible[i] = providers[i].Node().ID()
+	}
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	var manifest *Manifest
+	var placement *Placement
+	client.Upload(data, 512, refs, 3, func(m *Manifest, pl *Placement, err error) {
+		if err != nil {
+			t.Fatalf("upload: %v", err)
+		}
+		manifest, placement = m, pl
+	})
+	nw.Run(nw.Now() + time.Minute)
+	if manifest == nil {
+		t.Fatal("upload did not complete in the setup window")
+	}
+
+	start := nw.Now()
+	plan := sc.Build(seed, eligible, horizon)
+	plan.ApplyAt(nw, start)
+	ws, we := plan.Start(), plan.End()
+	if we <= ws { // clean plan: probe the whole horizon
+		ws, we = 0, horizon
+	}
+
+	ok, total := 0, 0
+	for i := 0; i < nProbes; i++ {
+		total++
+		nw.Schedule(start+ws+time.Duration(i)*(we-ws)/nProbes, func() {
+			launched := nw.Now()
+			client.Download(manifest, placement, func(b []byte, err error) {
+				if err == nil && bytes.Equal(b, data) && nw.Now()-launched <= sla {
+					ok++
+				}
+			})
+		})
+	}
+	nw.Run(start + horizon)
+	return float64(ok) / float64(total)
+}
+
+// TestStorageMidFaultAvailability: with the resilience layer on, a
+// 3-replica object must stay downloadable within the SLA at the
+// per-scenario floor while the provider fleet is actively under fault —
+// holder failover plus transport retries are the mechanisms under test.
+func TestStorageMidFaultAvailability(t *testing.T) {
+	floors := map[string]float64{
+		"clean":           1.0,
+		"lossy-edge":      0.75,
+		"flash-partition": 0.5,
+		"rolling-churn":   0.5,
+		"corrupt-10pct":   0.75,
+	}
+	for _, sc := range fault.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			got := storageMidFaultRun(t, 408, sc, resil.Defaults())
+			if floor := floors[sc.Name]; got < floor {
+				t.Errorf("mid-fault download availability %.2f below floor %.2f", got, floor)
+			}
+			t.Logf("mid-fault availability %.2f", got)
+		})
 	}
 }

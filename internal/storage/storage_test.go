@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/resil"
 	"repro/internal/simnet"
 )
 
@@ -618,5 +619,49 @@ func TestProviderAccessors(t *testing.T) {
 	}
 	if SealedID(mkData(65, 64), 1, 0).IsZero() {
 		t.Error("sealed id zero")
+	}
+}
+
+// TestPutRetriesAcrossHealedPartition is the regression pin for the old
+// bespoke single-retry the resilience layer replaced: a put whose first
+// transmission is swallowed by a network partition must still complete once
+// the partition heals, because the layer's timeout-driven retransmit path
+// re-issues it. The naive fixed-timeout client would report a failed
+// placement here.
+func TestPutRetriesAcrossHealedPartition(t *testing.T) {
+	nw := simnet.New(21)
+	clientNode := nw.AddNode()
+	client := NewClientWith(clientNode, 30*time.Second, resil.Defaults())
+	provider := NewProvider(nw.AddNode(), 1<<20, Honest)
+	data := mkData(22, 1000)
+
+	// The put's first transmission launches into a partition separating
+	// client and provider; the partition heals just after the 1s initial
+	// RTO expires, so the first backoff retry (~1.1s) crosses a healthy
+	// network.
+	nw.Partition([]simnet.NodeID{clientNode.ID()}, []simnet.NodeID{provider.Ref().Node})
+	clientNode.After(1050*time.Millisecond, nw.Heal)
+
+	var m *Manifest
+	var pl *Placement
+	var upErr error
+	client.Upload(data, 0, []ProviderRef{provider.Ref()}, 1, func(mm *Manifest, pp *Placement, err error) {
+		m, pl, upErr = mm, pp, err
+	})
+	nw.RunAll()
+	if upErr != nil {
+		t.Fatalf("put did not survive the healed partition: %v", upErr)
+	}
+	if pl.Count(m.Chunks[0]) != 1 {
+		t.Fatalf("placement count = %d, want 1", pl.Count(m.Chunks[0]))
+	}
+
+	// The stored copy is real: the object downloads back intact.
+	var got []byte
+	var dlErr error
+	client.Download(m, pl, func(d []byte, err error) { got, dlErr = d, err })
+	nw.RunAll()
+	if dlErr != nil || !bytes.Equal(got, data) {
+		t.Fatalf("download after retried put: err=%v match=%v", dlErr, bytes.Equal(got, data))
 	}
 }

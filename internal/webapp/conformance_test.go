@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cryptoutil"
 	"repro/internal/dht"
+	"repro/internal/resil"
 	"repro/internal/simnet"
 	"repro/internal/simnet/fault"
 )
@@ -103,5 +104,115 @@ func TestWebappConformanceDeterministic(t *testing.T) {
 	sc, _ := fault.ByName("lossy-edge")
 	if a, b := webappConformanceRun(t, 66, sc), webappConformanceRun(t, 66, sc); a != b {
 		t.Errorf("same seed gave different rates: %v vs %v", a, b)
+	}
+}
+
+// webappMidFaultRun measures visit availability during the fault window:
+// fresh, never-before-used visitors (a warm visitor would serve the site
+// from its own blob cache and measure nothing) fetch the site at a fixed
+// cadence while the seeder fleet is under fault, riding the resilience
+// layer for manifest, tracker, and blob RPCs. A probe counts as available
+// iff the full site lands within the 15s SLA.
+func webappMidFaultRun(t testing.TB, seed int64, sc fault.Scenario, rcfg resil.Config) float64 {
+	t.Helper()
+	const (
+		nSeeders = 8
+		nProbes  = 8
+		horizon  = 30 * time.Minute
+		sla      = 15 * time.Second
+	)
+	nw := simnet.New(seed)
+	tracker := NewTracker(nw.AddNode())
+	authorNode := nw.AddNode()
+	authorDHT := dht.NewPeer(authorNode, dht.Key{}, dht.Config{})
+	author := NewPeer(authorNode, authorDHT, tracker.Node().ID(), 30*time.Second)
+	owner, err := cryptoutil.GenerateKeyPair(nw.Rand())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probeDHTCfg := dht.Config{Resilience: rcfg}
+	seeders := make([]*Peer, nSeeders)
+	eligible := make([]simnet.NodeID, nSeeders)
+	for i := range seeders {
+		node := nw.AddNode()
+		d := dht.NewPeer(node, dht.Key{}, dht.Config{})
+		d.Bootstrap(authorDHT.Contact(), nil)
+		seeders[i] = NewPeer(node, d, tracker.Node().ID(), 30*time.Second)
+		eligible[i] = node.ID()
+	}
+	// One cold visitor per probe, bootstrapped before the faults begin and
+	// used exactly once.
+	visitors := make([]*Peer, nProbes)
+	for i := range visitors {
+		node := nw.AddNode()
+		d := dht.NewPeer(node, dht.Key{}, probeDHTCfg)
+		d.Bootstrap(authorDHT.Contact(), nil)
+		visitors[i] = NewPeerWith(node, d, tracker.Node().ID(), 30*time.Second, rcfg)
+	}
+	nw.Run(2 * time.Minute)
+
+	files := map[string][]byte{
+		"index.html": []byte("<html><body>midfault</body></html>"),
+		"app.js":     make([]byte, 2048),
+	}
+	var site cryptoutil.Hash
+	author.Publish(owner, 1, files, cryptoutil.Hash{}, func(m *Manifest) { site = m.Site })
+	nw.Run(nw.Now() + time.Minute)
+	if site.IsZero() {
+		t.Fatal("publish did not complete in the setup window")
+	}
+	for _, p := range seeders {
+		p.Visit(site, func(map[string][]byte, error) {})
+	}
+	nw.Run(nw.Now() + time.Minute)
+
+	start := nw.Now()
+	plan := sc.Build(seed, eligible, horizon)
+	plan.ApplyAt(nw, start)
+	ws, we := plan.Start(), plan.End()
+	if we <= ws { // clean plan: probe the whole horizon
+		ws, we = 0, horizon
+	}
+
+	ok, total := 0, 0
+	for i := 0; i < nProbes; i++ {
+		i := i
+		total++
+		nw.Schedule(start+ws+time.Duration(i)*(we-ws)/nProbes, func() {
+			launched := nw.Now()
+			visitors[i].Visit(site, func(fs map[string][]byte, err error) {
+				if err == nil && len(fs) == len(files) && nw.Now()-launched <= sla {
+					ok++
+				}
+			})
+		})
+	}
+	nw.Run(start + horizon)
+	return float64(ok) / float64(total)
+}
+
+// TestWebappMidFaultAvailability: with the resilience layer on, cold
+// visitors must keep landing the full site at the per-scenario floor
+// while the seeder swarm is actively under fault — the author and the
+// tracker stay up, so blob-source failover plus adaptive timeouts decide
+// the outcome.
+func TestWebappMidFaultAvailability(t *testing.T) {
+	floors := map[string]float64{
+		"clean":           1.0,
+		"lossy-edge":      0.75,
+		"flash-partition": 0.5,
+		"rolling-churn":   0.75,
+		"corrupt-10pct":   0.75,
+	}
+	for _, sc := range fault.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			got := webappMidFaultRun(t, 410, sc, resil.Defaults())
+			if floor := floors[sc.Name]; got < floor {
+				t.Errorf("mid-fault visit availability %.2f below floor %.2f", got, floor)
+			}
+			t.Logf("mid-fault availability %.2f", got)
+		})
 	}
 }

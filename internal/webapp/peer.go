@@ -7,6 +7,7 @@ import (
 	"repro/internal/cryptoutil"
 	"repro/internal/dht"
 	"repro/internal/obs"
+	"repro/internal/resil"
 	"repro/internal/simnet"
 )
 
@@ -77,6 +78,7 @@ func (t *Tracker) onPeers(from simnet.NodeID, req any) (any, int) {
 // fetched. It keeps a DHT peer for manifest resolution.
 type Peer struct {
 	rpc     *simnet.RPCNode
+	res     *resil.Client // manifest/blob/tracker fetches ride the resilience layer
 	dht     *dht.Peer
 	tracker simnet.NodeID
 	timeout time.Duration
@@ -94,10 +96,20 @@ type Peer struct {
 }
 
 // NewPeer creates a web peer on node, joined to the given DHT (the caller
-// bootstraps the DHT peer) and tracker.
+// bootstraps the DHT peer) and tracker, on the historical fixed-timeout
+// transport.
 func NewPeer(node *simnet.Node, d *dht.Peer, tracker simnet.NodeID, timeout time.Duration) *Peer {
+	return NewPeerWith(node, d, tracker, timeout, resil.Config{})
+}
+
+// NewPeerWith is NewPeer with an explicit resilience configuration for
+// the peer's own fetches (manifest, blob, and tracker RPCs). The DHT leg
+// of a Visit is tuned separately through dht.Config.Resilience.
+func NewPeerWith(node *simnet.Node, d *dht.Peer, tracker simnet.NodeID, timeout time.Duration, rcfg resil.Config) *Peer {
+	rpc := simnet.NewRPCNode(node)
 	p := &Peer{
-		rpc:          simnet.NewRPCNode(node),
+		rpc:          rpc,
+		res:          resil.New(rpc, rcfg),
 		dht:          d,
 		tracker:      tracker,
 		timeout:      timeout,
@@ -200,7 +212,7 @@ func (p *Peer) adopt(m *Manifest, blobs map[cryptoutil.Hash][]byte) {
 
 func (p *Peer) announce(site cryptoutil.Hash) {
 	req := announceReq{Site: site, Seeder: p.rpc.Node().ID()}
-	p.rpc.Call(p.tracker, methodAnnounce, req, 72, p.timeout, func(any, error) {})
+	p.res.Call(p.tracker, methodAnnounce, req, 72, p.timeout, func(any, error) {})
 }
 
 // Visit resolves a site: manifest from the DHT (falling back to asking the
@@ -233,7 +245,7 @@ func (p *Peer) Visit(site cryptoutil.Hash, done func(files map[string][]byte, er
 		}
 		// DHT miss (churned-out record, partition): the swarm itself is an
 		// alternative manifest source.
-		p.rpc.Call(p.tracker, methodPeers, site, 40, p.timeout, func(resp any, err error) {
+		p.res.Call(p.tracker, methodPeers, site, 40, p.timeout, func(resp any, err error) {
 			pr, ok := resp.(peersResp)
 			if err != nil || !ok || len(pr.Seeders) == 0 {
 				done(nil, fmt.Errorf("webapp: site %s not found in DHT or swarm", site.Short()))
@@ -255,7 +267,7 @@ func (p *Peer) fetchManifestFrom(site cryptoutil.Hash, seeders []simnet.NodeID, 
 		p.fetchManifestFrom(site, seeders, i+1, done)
 		return
 	}
-	p.rpc.Call(seeders[i], methodManifest, site, 40, p.timeout, func(resp any, err error) {
+	p.res.Call(seeders[i], methodManifest, site, 40, p.timeout, func(resp any, err error) {
 		if err == nil {
 			if r, ok := resp.(getBlobResp); ok && r.OK {
 				if m, derr := DecodeManifest(r.Data); derr == nil && m.Site == site && m.Verify() {
@@ -278,7 +290,7 @@ func (p *Peer) fetchBundle(m *Manifest, site cryptoutil.Hash, done func(map[stri
 		m = cur // already have an equal or newer version
 	}
 	req := m
-	p.rpc.Call(p.tracker, methodPeers, site, 40, p.timeout, func(resp any, err error) {
+	p.res.Call(p.tracker, methodPeers, site, 40, p.timeout, func(resp any, err error) {
 		if err != nil {
 			done(nil, fmt.Errorf("webapp: tracker unreachable: %w", err))
 			return
@@ -354,7 +366,7 @@ func (p *Peer) fetchBlobFrom(id cryptoutil.Hash, seeders []simnet.NodeID, i int,
 		p.fetchBlobFrom(id, seeders, i+1, done)
 		return
 	}
-	p.rpc.Call(seeders[i], methodBlob, id, 40, p.timeout, func(resp any, err error) {
+	p.res.Call(seeders[i], methodBlob, id, 40, p.timeout, func(resp any, err error) {
 		if err == nil {
 			if r, ok := resp.(getBlobResp); ok && r.OK && cryptoutil.SumHash(r.Data) == id {
 				done(r.Data, true)
@@ -388,7 +400,7 @@ func (p *Peer) Refresh(site cryptoutil.Hash, done func(updated bool, err error))
 			done(false, nil)
 			return
 		}
-		p.rpc.Call(p.tracker, methodPeers, site, 40, p.timeout, func(resp any, err error) {
+		p.res.Call(p.tracker, methodPeers, site, 40, p.timeout, func(resp any, err error) {
 			pr, ok := resp.(peersResp)
 			if err != nil || !ok {
 				done(false, fmt.Errorf("webapp: tracker unreachable"))

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/experiments"
 	"repro/internal/gossip"
+	"repro/internal/resil"
 	"repro/internal/simnet"
 )
 
@@ -127,6 +128,64 @@ func TestQuickScaleCellDeterministic(t *testing.T) {
 		return a.Converged == b.Converged && a.Messages == b.Messages
 	}
 	if err := quick.Check(prop, quickCfg(3003, 6)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRTOEstimatorBounded: whatever sample sequence the estimator is
+// fed — including timeout doublings interleaved after every sample — the
+// published RTO never leaves the [Min, Max] clamp, and the whole state
+// trajectory is a pure function of the sequence: a second estimator fed
+// the same samples reports identical RTOs at every step.
+func TestQuickRTOEstimatorBounded(t *testing.T) {
+	cfg := resil.Defaults().RTO
+	prop := func(raw []uint32, timeouts uint8) bool {
+		a, b := resil.NewEstimator(cfg), resil.NewEstimator(cfg)
+		for i, r := range raw {
+			// Samples span negative to far beyond Max (raw is up to ~4295s).
+			s := time.Duration(int64(r))*time.Millisecond - time.Second
+			a.Sample(s)
+			b.Sample(s)
+			if a.RTO() != b.RTO() || a.SRTT() != b.SRTT() {
+				return false
+			}
+			if a.RTO() < cfg.Min || a.RTO() > cfg.Max {
+				return false
+			}
+			if i%4 == int(timeouts)%4 {
+				a.OnTimeout()
+				b.OnTimeout()
+				if a.RTO() != b.RTO() || a.RTO() > cfg.Max {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(4004, 50)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBackoffDeterministic: the retry delay is a pure function of
+// (network seed, node id, call, attempt) — two independently constructed
+// schedules agree everywhere — and every delay stays inside the jittered
+// exponential envelope [Base·(1−J), Cap·(1+J)].
+func TestQuickBackoffDeterministic(t *testing.T) {
+	cfg := resil.Defaults().Backoff
+	lo := time.Duration(float64(cfg.Base) * (1 - cfg.Jitter))
+	hi := time.Duration(float64(cfg.Cap) * (1 + cfg.Jitter))
+	prop := func(seed int64, node uint16, call uint64, rawAttempt uint8) bool {
+		a := resil.NewBackoff(cfg, seed, simnet.NodeID(node))
+		b := resil.NewBackoff(cfg, seed, simnet.NodeID(node))
+		attempt := 1 + int(rawAttempt)%10
+		d := a.Delay(call, attempt)
+		if d != b.Delay(call, attempt) {
+			return false
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(prop, quickCfg(5005, 200)); err != nil {
 		t.Error(err)
 	}
 }
