@@ -17,6 +17,8 @@ import (
 	"repro/internal/dht"
 	"repro/internal/gossip"
 	"repro/internal/simnet"
+	"repro/internal/storage"
+	"repro/internal/storage/chunker"
 )
 
 // TestAllocSendZero pins the raw substrate Send+deliver cycle at zero
@@ -133,5 +135,69 @@ func TestAllocGossipRound(t *testing.T) {
 	t.Logf("gossip publish round: %.1f allocs/op across %d members (budget %.0f)", avg, n, budget)
 	if avg > budget {
 		t.Errorf("gossip publish round allocates %.1f/op, budget %.0f", avg, budget)
+	}
+}
+
+// TestAllocChunkerSplit pins content-defined chunking at zero
+// allocations per Split on a reused Chunker: the fingerprint tables are
+// built once in New, the window lives in the struct, and chunks are
+// subslices of the input. Per-upload garbage on the chunking hot path
+// would dominate large-file uploads.
+func TestAllocChunkerSplit(t *testing.T) {
+	ck, err := chunker.New(chunker.Defaults(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 64<<10)
+	for i := range data {
+		data[i] = byte(i*2654435761 + i>>8)
+	}
+	sink := 0
+	split := func() {
+		ck.Split(data, func(chunk []byte) { sink += len(chunk) })
+	}
+	split() // warm: nothing to warm, but keep parity with the other budgets
+	if avg := testing.AllocsPerRun(100, split); avg != 0 {
+		t.Errorf("Chunker.Split allocates %.2f/op in steady state, want 0", avg)
+	}
+	if sink == 0 {
+		t.Fatal("split emitted nothing")
+	}
+}
+
+// TestAllocTieredStore pins the localstore hot paths: a steady-state Get
+// must be allocation-free in both tiers, and a dedup-hit Put (the common
+// case under overlapping uploads) must not copy or allocate either.
+func TestAllocTieredStore(t *testing.T) {
+	ls := storage.NewLocalStore(storage.LocalStoreConfig{Capacity: 1 << 20, MemCapacity: 8 << 10})
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	id := cryptoutil.SumHash(data)
+	if !ls.Put(id, data) {
+		t.Fatal("put refused")
+	}
+	get := func() {
+		if _, ok := ls.Get(id); !ok {
+			t.Fatal("get failed")
+		}
+	}
+	for i := 0; i < 10; i++ {
+		get()
+	}
+	if avg := testing.AllocsPerRun(200, get); avg != 0 {
+		t.Errorf("LocalStore.Get allocates %.2f/op in steady state, want 0", avg)
+	}
+	dupPut := func() {
+		if !ls.Put(id, data) {
+			t.Fatal("dedup put refused")
+		}
+	}
+	for i := 0; i < 10; i++ {
+		dupPut()
+	}
+	if avg := testing.AllocsPerRun(200, dupPut); avg != 0 {
+		t.Errorf("dedup-hit Put allocates %.2f/op in steady state, want 0", avg)
 	}
 }

@@ -8,6 +8,13 @@
 //	storesim durability [-seed N] [-objects 20] [-providers 30] [-hours 6] [-die 0.5]
 //	storesim proofs [-seed N]
 //	storesim incentives [-seed N]
+//	storesim dedup [-seed N] [-users 16] [-providers 6] [-cdc] [-avg-chunk 1024] [-stats]
+//
+// The dedup subcommand runs the X17 overlapping-upload populations
+// (shared-prefix and edited-document) against providers running the
+// tiered localstore. -cdc switches the uploads from fixed-size chunking
+// to content-defined chunking at the -avg-chunk target size; -stats
+// appends per-provider disk/memory tier occupancy after the GC phase.
 package main
 
 import (
@@ -44,6 +51,16 @@ func main() {
 		seed := fs.Int64("seed", 42, "simulation seed")
 		_ = fs.Parse(os.Args[2:])
 		fmt.Print(experiments.RunIncentiveDemos(*seed))
+	case "dedup":
+		fs := flag.NewFlagSet("dedup", flag.ExitOnError)
+		seed := fs.Int64("seed", 42, "simulation seed")
+		users := fs.Int("users", 0, "uploaders sharing overlapping documents (0 = X17 default)")
+		providers := fs.Int("providers", 0, "provider fleet size (0 = X17 default)")
+		cdc := fs.Bool("cdc", false, "use content-defined chunking instead of fixed-size")
+		avgChunk := fs.Int("avg-chunk", 0, "target average chunk size in bytes, power of two (0 = X17 default)")
+		stats := fs.Bool("stats", false, "append per-provider tier occupancy")
+		_ = fs.Parse(os.Args[2:])
+		fmt.Print(experiments.DedupSim(*seed, *users, *providers, *cdc, *avgChunk, *stats))
 	default:
 		usage()
 		os.Exit(2)
@@ -51,5 +68,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: storesim durability|proofs|incentives [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: storesim durability|proofs|incentives|dedup [flags]`)
 }

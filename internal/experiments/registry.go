@@ -162,6 +162,14 @@ func Registry() []Experiment {
 			},
 			Tiny: func(seed int64) fmt.Stringer { return ResilienceMatrixTiny(seed) },
 		},
+		{
+			ID: "x17", Desc: "X17: overlapping-upload dedup and storage tiering, fixed vs content-defined chunking",
+			Run: func(seed int64) fmt.Stringer { return DedupTiering(seed) },
+			Multi: func(seeds []int64, workers int) fmt.Stringer {
+				return DedupTieringMulti(seeds, workers)
+			},
+			Tiny: func(seed int64) fmt.Stringer { return DedupTieringTiny(seed) },
+		},
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/resil"
 	"repro/internal/simnet"
+	"repro/internal/storage/chunker"
 )
 
 // Client is a storage consumer: it uploads objects with a chosen redundancy
@@ -19,6 +20,11 @@ type Client struct {
 	rpc     *simnet.RPCNode
 	res     *resil.Client // transfer RPCs (puts, fetches) ride the resilience layer
 	timeout time.Duration
+	// pinRepairs makes Repair pin its restore sources at the holders for
+	// the duration of the repair (see EnableRepairPinning). Off by
+	// default: the pin/unpin round trips would change the historical
+	// repair traffic, and GC only exists in tiered worlds.
+	pinRepairs bool
 
 	// Observability: network-wide repair volume (chunk copies restored and
 	// their payload bytes); repair latency is spanned per Repair call as
@@ -52,6 +58,19 @@ func NewClientWith(node *simnet.Node, timeout time.Duration, rcfg resil.Config) 
 // Node returns the client's simnet node.
 func (c *Client) Node() *simnet.Node { return c.rpc.Node() }
 
+// EnableRepairPinning makes every Repair pin the chunks it reads as
+// restore sources at their holders, and unpin them once the lost
+// redundancy is re-placed. On providers running capacity-triggered GC
+// this closes the window where a repair's source chunk — possibly the
+// last surviving copy — could be evicted between the audit that found it
+// and the fetch that reads it.
+func (c *Client) EnableRepairPinning() { c.pinRepairs = true }
+
+// RepairBytes returns the cumulative payload bytes this client's repairs
+// have restored (the storage.repair.bytes counter), for experiments that
+// charge repair volume to a phase by differencing.
+func (c *Client) RepairBytes() int64 { return c.obsRepairBytes.Value() }
+
 // Upload stores data with replication: every chunk goes to `replicas`
 // distinct providers drawn from the given pool. done receives the manifest
 // and placement, or an error if any chunk could not reach the target
@@ -76,6 +95,41 @@ func (c *Client) Upload(data []byte, chunkSize int, providers []ProviderRef, rep
 		m.Chunks = append(m.Chunks, ch.ID)
 		m.ChunkRoots = append(m.ChunkRoots, chunkProofRoot(ch.Data))
 	}
+	c.placeChunks(chunks, providers, replicas, func(pl *Placement, err error) {
+		done(m, pl, err)
+	})
+}
+
+// UploadCDC stores data with replication like Upload, but cuts it with
+// the given content-defined chunker instead of at fixed offsets. The
+// manifest records the variable-length chunk table (ChunkLens) alongside
+// the content addresses and per-chunk proof roots, so downloads, audits
+// and repairs work unchanged. Two uploaders splitting overlapping data
+// with the same chunker configuration produce identical chunks for the
+// shared content — that is what lets providers deduplicate them.
+func (c *Client) UploadCDC(data []byte, ck *chunker.Chunker, providers []ProviderRef, replicas int, done func(*Manifest, *Placement, error)) {
+	if ck == nil {
+		done(nil, nil, errors.New("storage: UploadCDC needs a chunker"))
+		return
+	}
+	if replicas <= 0 || len(providers) < replicas {
+		done(nil, nil, fmt.Errorf("storage: need ≥%d providers for %d replicas, have %d", replicas, replicas, len(providers)))
+		return
+	}
+	m := &Manifest{
+		FileID:   cryptoutil.SumHash(data),
+		Size:     len(data),
+		Mode:     ModeReplicate,
+		Replicas: replicas,
+	}
+	var chunks []Chunk
+	ck.Split(data, func(part []byte) {
+		ch := NewChunk(part)
+		chunks = append(chunks, ch)
+		m.Chunks = append(m.Chunks, ch.ID)
+		m.ChunkLens = append(m.ChunkLens, len(part))
+		m.ChunkRoots = append(m.ChunkRoots, chunkProofRoot(part))
+	})
 	c.placeChunks(chunks, providers, replicas, func(pl *Placement, err error) {
 		done(m, pl, err)
 	})
@@ -350,6 +404,9 @@ func (c *Client) Audit(m *Manifest, pl *Placement, deadline time.Duration, done 
 
 // chunkDataLen returns the byte length of chunk ci per the manifest.
 func chunkDataLen(m *Manifest, ci int) int {
+	if ci < len(m.ChunkLens) {
+		return m.ChunkLens[ci] // content-defined: explicit chunk table
+	}
 	switch m.Mode {
 	case ModeErasure:
 		if m.DataShards == 0 {
@@ -372,6 +429,88 @@ func chunkDataLen(m *Manifest, ci int) int {
 			}
 		}
 		return m.ChunkSize
+	}
+}
+
+// forEachChunkHolder runs op once per (chunk, holder) pair of the
+// manifest's current placement, then calls done with how many ops were
+// acknowledged. The chunk/holder RPC fan-out shared by the object
+// lifecycle helpers below.
+func (c *Client) forEachChunkHolder(m *Manifest, pl *Placement, method string, done func(acked int)) {
+	pending := 0
+	acked := 0
+	finished := false
+	check := func() {
+		if pending == 0 && !finished {
+			finished = true
+			if done != nil {
+				done(acked)
+			}
+		}
+	}
+	for _, id := range m.Chunks {
+		for _, h := range pl.Holders[id] {
+			pending++
+			id, h := id, h
+			c.res.Call(h.Node, method, id, 40, c.timeout, func(resp any, err error) {
+				pending--
+				if ok, _ := resp.(bool); err == nil && ok {
+					acked++
+				}
+				check()
+			})
+		}
+	}
+	if pending == 0 {
+		check()
+	}
+}
+
+// PinObject pins every chunk of the object at every holder — the wiring
+// a live storage contract uses so capacity-triggered GC on the provider
+// can never evict contracted data.
+func (c *Client) PinObject(m *Manifest, pl *Placement, done func(acked int)) {
+	c.forEachChunkHolder(m, pl, methodPin, done)
+}
+
+// UnpinObject drops the contract pins (contract expiry or termination).
+func (c *Client) UnpinObject(m *Manifest, pl *Placement, done func(acked int)) {
+	c.forEachChunkHolder(m, pl, methodUnpin, done)
+}
+
+// ReleaseObject tells every holder the object is deleted: each chunk
+// loses one reference. Providers keep the bytes until GC wants the
+// space — dedup means another object may still reference the same chunk,
+// and the refcount tracks exactly that.
+func (c *Client) ReleaseObject(m *Manifest, pl *Placement, done func(acked int)) {
+	c.forEachChunkHolder(m, pl, methodRelease, done)
+}
+
+// pinHolders pins chunk id at each holder and calls done once every pin
+// RPC resolves. A no-op (immediate done) unless repair pinning is on.
+func (c *Client) pinHolders(id cryptoutil.Hash, holders []ProviderRef, done func()) {
+	if !c.pinRepairs || len(holders) == 0 {
+		done()
+		return
+	}
+	pending := len(holders)
+	for _, h := range holders {
+		c.res.Call(h.Node, methodPin, id, 40, c.timeout, func(any, error) {
+			pending--
+			if pending == 0 {
+				done()
+			}
+		})
+	}
+}
+
+// unpinHolders releases repair pins, fire-and-forget.
+func (c *Client) unpinHolders(id cryptoutil.Hash, holders []ProviderRef) {
+	if !c.pinRepairs {
+		return
+	}
+	for _, h := range holders {
+		c.res.Call(h.Node, methodUnpin, id, 40, c.timeout, func(any, error) {})
 	}
 }
 
@@ -417,26 +556,34 @@ func (c *Client) repairReplicate(m *Manifest, pl *Placement, pool []ProviderRef,
 	var anyErr error
 	for _, j := range jobs {
 		j := j
-		c.fetchChunk(j.id, pl.Holders[j.id], 0, func(data []byte, ok bool) {
-			if !ok {
-				anyErr = fmt.Errorf("storage: chunk %s has no surviving replica", j.id.Short())
-				pending--
-				if pending == 0 {
-					done(restored, anyErr)
+		// Pin the restore sources first (when enabled): between here and
+		// the fetch, a GC on the holder must not evict what may be the
+		// last surviving copy.
+		src := append([]ProviderRef(nil), pl.Holders[j.id]...)
+		c.pinHolders(j.id, src, func() {
+			c.fetchChunk(j.id, pl.Holders[j.id], 0, func(data []byte, ok bool) {
+				if !ok {
+					c.unpinHolders(j.id, src)
+					anyErr = fmt.Errorf("storage: chunk %s has no surviving replica", j.id.Short())
+					pending--
+					if pending == 0 {
+						done(restored, anyErr)
+					}
+					return
 				}
-				return
-			}
-			c.placeOnFresh(NewChunk(data), pl, pool, nil, j.missing, func(placed int) {
-				restored += placed
-				c.obsRepairChunks.Add(int64(placed))
-				c.obsRepairBytes.Add(int64(placed * len(data)))
-				if placed < j.missing && anyErr == nil {
-					anyErr = fmt.Errorf("storage: chunk %s restored %d/%d copies", j.id.Short(), placed, j.missing)
-				}
-				pending--
-				if pending == 0 {
-					done(restored, anyErr)
-				}
+				c.placeOnFresh(NewChunk(data), pl, pool, nil, j.missing, func(placed int) {
+					c.unpinHolders(j.id, src)
+					restored += placed
+					c.obsRepairChunks.Add(int64(placed))
+					c.obsRepairBytes.Add(int64(placed * len(data)))
+					if placed < j.missing && anyErr == nil {
+						anyErr = fmt.Errorf("storage: chunk %s restored %d/%d copies", j.id.Short(), placed, j.missing)
+					}
+					pending--
+					if pending == 0 {
+						done(restored, anyErr)
+					}
+				})
 			})
 		})
 	}
@@ -455,67 +602,107 @@ func (c *Client) repairErasure(m *Manifest, pl *Placement, pool []ProviderRef, d
 		return
 	}
 	// Fetch all available shards, reconstruct, re-place the missing ones.
+	// Surviving shard holders are pinned for the whole reconstruct (when
+	// enabled): losing one more shard mid-repair could drop the set below
+	// k and turn a repairable object into a dead one.
+	type pinned struct {
+		id      cryptoutil.Hash
+		holders []ProviderRef
+	}
+	var pins []pinned
+	for _, id := range m.Chunks {
+		if hs := pl.Holders[id]; len(hs) > 0 {
+			pins = append(pins, pinned{id: id, holders: append([]ProviderRef(nil), hs...)})
+		}
+	}
+	unpinAll := func() {
+		for _, p := range pins {
+			c.unpinHolders(p.id, p.holders)
+		}
+	}
+	inner := done
+	done = func(restored int, err error) {
+		unpinAll()
+		inner(restored, err)
+	}
+	pinsLeft := len(pins)
 	n := len(m.Chunks)
 	shards := make([][]byte, n)
-	remaining := n
-	for i := range m.Chunks {
-		i := i
-		c.fetchChunk(m.Chunks[i], pl.Holders[m.Chunks[i]], 0, func(data []byte, ok bool) {
-			if ok {
-				shards[i] = data
-			}
-			remaining--
-			if remaining > 0 {
-				return
-			}
-			code, err := erasure.New(m.DataShards, m.ParityShards)
-			if err != nil {
-				done(0, err)
-				return
-			}
-			if err := code.Reconstruct(shards); err != nil {
-				done(0, err)
-				return
-			}
-			restored := 0
-			pending := 0
-			finished := false
-			check := func() {
-				if pending == 0 && !finished {
-					finished = true
-					var err error
-					if restored < lost {
-						err = fmt.Errorf("storage: restored %d/%d lost shards", restored, lost)
+	fetchAll := func() {
+		remaining := n
+		for i := range m.Chunks {
+			i := i
+			c.fetchChunk(m.Chunks[i], pl.Holders[m.Chunks[i]], 0, func(data []byte, ok bool) {
+				if ok {
+					shards[i] = data
+				}
+				remaining--
+				if remaining > 0 {
+					return
+				}
+				code, err := erasure.New(m.DataShards, m.ParityShards)
+				if err != nil {
+					done(0, err)
+					return
+				}
+				if err := code.Reconstruct(shards); err != nil {
+					done(0, err)
+					return
+				}
+				restored := 0
+				pending := 0
+				finished := false
+				check := func() {
+					if pending == 0 && !finished {
+						finished = true
+						var err error
+						if restored < lost {
+							err = fmt.Errorf("storage: restored %d/%d lost shards", restored, lost)
+						}
+						done(restored, err)
 					}
-					done(restored, err)
 				}
-			}
-			// Shards of one object must sit on distinct providers:
-			// co-locating them would let one death erase several shards.
-			occupied := map[simnet.NodeID]bool{}
-			for _, id := range m.Chunks {
-				for _, h := range pl.Holders[id] {
-					occupied[h.Node] = true
-				}
-			}
-			for si, id := range m.Chunks {
-				if pl.Count(id) > 0 {
-					continue
-				}
-				pending++
-				ch := NewChunk(shards[si])
-				c.placeOnFresh(ch, pl, pool, occupied, 1, func(placed int) {
-					restored += placed
-					c.obsRepairChunks.Add(int64(placed))
-					c.obsRepairBytes.Add(int64(placed * len(ch.Data)))
-					for _, h := range pl.Holders[ch.ID] {
+				// Shards of one object must sit on distinct providers:
+				// co-locating them would let one death erase several shards.
+				occupied := map[simnet.NodeID]bool{}
+				for _, id := range m.Chunks {
+					for _, h := range pl.Holders[id] {
 						occupied[h.Node] = true
 					}
-					pending--
-					check()
-				})
+				}
+				for si, id := range m.Chunks {
+					if pl.Count(id) > 0 {
+						continue
+					}
+					pending++
+					ch := NewChunk(shards[si])
+					c.placeOnFresh(ch, pl, pool, occupied, 1, func(placed int) {
+						restored += placed
+						c.obsRepairChunks.Add(int64(placed))
+						c.obsRepairBytes.Add(int64(placed * len(ch.Data)))
+						for _, h := range pl.Holders[ch.ID] {
+							occupied[h.Node] = true
+						}
+						pending--
+						check()
+					})
+				}
+				check()
+			})
+		}
+	}
+	// Kick off: pin every surviving shard holder, then fetch.
+	if !c.pinRepairs || len(pins) == 0 {
+		fetchAll()
+		return
+	}
+	for _, p := range pins {
+		p := p
+		c.pinHolders(p.id, p.holders, func() {
+			pinsLeft--
+			if pinsLeft == 0 {
+				fetchAll()
 			}
-			check()
 		})
 	}
 }

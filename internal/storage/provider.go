@@ -39,6 +39,9 @@ const (
 	methodPut          = "storage.put"
 	methodGet          = "storage.get"
 	methodHas          = "storage.has"
+	methodPin          = "storage.pin" // GC exemption (contracts, repairs)
+	methodUnpin        = "storage.unpin"
+	methodRelease      = "storage.release"      // drop one upload reference
 	methodChallenge    = "storage.challenge"    // proof-of-storage
 	methodRetChallenge = "storage.retchallenge" // proof-of-retrievability
 	methodPutSealed    = "storage.putsealed"    // proof-of-replication
@@ -88,18 +91,21 @@ type repChallengeReq struct {
 }
 
 // Provider is one storage node. Capacity is in bytes; Price is the posted
-// price per byte-epoch used by the contract market.
+// price per byte-epoch used by the contract market. Chunk bytes live in a
+// tiered LocalStore: content-address dedup, a bounded memory tier over
+// the simulated disk, and (when enabled) capacity-triggered GC.
 type Provider struct {
 	rpc      *simnet.RPCNode
 	capacity int64
-	used     int64
 	price    uint64
 	cheat    CheatMode
 	// accomplice is the provider OutsourceFetch cheaters fetch from.
 	accomplice simnet.NodeID
-	chunks     map[cryptoutil.Hash][]byte
-	// sealed[chunkID][replica] holds sealed replica bytes.
-	sealed map[cryptoutil.Hash]map[int][]byte
+	store      *LocalStore
+	// sealed[chunkID][replica] holds sealed replica bytes, accounted
+	// separately from the chunk store.
+	sealed     map[cryptoutil.Hash]map[int][]byte
+	sealedUsed int64
 	// sealDelayPerByte is the simulated cost of the sealing transform;
 	// generation-attack detection relies on it being much larger than the
 	// challenge deadline.
@@ -108,20 +114,58 @@ type Provider struct {
 	Stores, Serves, Challenges int
 }
 
+// ProviderConfig selects a provider's storage tiering and accounting.
+type ProviderConfig struct {
+	// Capacity bounds the disk tier in bytes.
+	Capacity int64
+	// MemCapacity bounds the memory cache tier; 0 disables it.
+	MemCapacity int64
+	// GC enables capacity-triggered disk GC (see LocalStoreConfig.GC).
+	GC bool
+	// GCLowWater overrides the GC low-water fraction (0 = default).
+	GCLowWater float64
+	// Cheat selects the provider's honesty model.
+	Cheat CheatMode
+	// Metrics wires storage.tier.*, storage.dedup.ratio and
+	// storage.gc.reclaimed_bytes into the node's obs registry. Off by
+	// default so historical worlds keep their exact metric sets.
+	Metrics bool
+}
+
 // NewProvider starts a provider with the given capacity (bytes) and cheat
-// mode on node.
+// mode on node, in the historical configuration: no memory tier, no GC,
+// no tier metrics — byte-identical behaviour to the flat store, plus
+// content-address dedup (identical behaviour on the wire: a duplicate
+// put is acknowledged either way, it just no longer doubles the bytes).
 func NewProvider(node *simnet.Node, capacity int64, cheat CheatMode) *Provider {
+	return NewProviderWith(node, ProviderConfig{Capacity: capacity, Cheat: cheat})
+}
+
+// NewProviderWith starts a provider with explicit tiering configuration.
+func NewProviderWith(node *simnet.Node, cfg ProviderConfig) *Provider {
 	p := &Provider{
-		rpc:              simnet.NewRPCNode(node),
-		capacity:         capacity,
-		cheat:            cheat,
-		chunks:           map[cryptoutil.Hash][]byte{},
+		rpc:      simnet.NewRPCNode(node),
+		capacity: cfg.Capacity,
+		cheat:    cfg.Cheat,
+		store: NewLocalStore(LocalStoreConfig{
+			Capacity:    cfg.Capacity,
+			MemCapacity: cfg.MemCapacity,
+			GC:          cfg.GC,
+			GCLowWater:  cfg.GCLowWater,
+		}),
 		sealed:           map[cryptoutil.Hash]map[int][]byte{},
 		sealDelayPerByte: 10 * time.Microsecond,
 	}
+	if cfg.Metrics {
+		p.store.AttachMetrics(node.Obs())
+	}
+	cheat := cfg.Cheat
 	p.rpc.Serve(methodPut, p.onPut)
 	p.rpc.Serve(methodGet, p.onGet)
 	p.rpc.Serve(methodHas, p.onHas)
+	p.rpc.Serve(methodPin, p.onPin)
+	p.rpc.Serve(methodUnpin, p.onUnpin)
+	p.rpc.Serve(methodRelease, p.onRelease)
 	p.rpc.Serve(methodChallenge, p.onChallenge)
 	p.rpc.Serve(methodRetChallenge, p.onRetChallenge)
 	p.rpc.Serve(methodPutSealed, p.onPutSealed)
@@ -229,15 +273,20 @@ func (p *Provider) Price() uint64 { return p.price }
 // secretly fetches from.
 func (p *Provider) SetAccomplice(n simnet.NodeID) { p.accomplice = n }
 
-// Used returns the bytes currently stored.
-func (p *Provider) Used() int64 { return p.used }
+// Used returns the bytes currently stored (chunk store plus sealed
+// replicas).
+func (p *Provider) Used() int64 { return p.store.PhysicalBytes() + p.sealedUsed }
 
 // Capacity returns the provider's capacity in bytes.
 func (p *Provider) Capacity() int64 { return p.capacity }
 
+// Store exposes the provider's tiered localstore (test/experiment
+// introspection: dedup ratio, tier hits, GC reclaim, pin state).
+func (p *Provider) Store() *LocalStore { return p.store }
+
 // HasChunk reports whether the provider truly holds the chunk (test/debug
 // introspection, not an RPC).
-func (p *Provider) HasChunk(id cryptoutil.Hash) bool { _, ok := p.chunks[id]; return ok }
+func (p *Provider) HasChunk(id cryptoutil.Hash) bool { return p.store.Has(id) }
 
 func (p *Provider) onPut(from simnet.NodeID, req any) (any, int) {
 	r, ok := req.(putReq)
@@ -249,15 +298,14 @@ func (p *Provider) onPut(from simnet.NodeID, req any) (any, int) {
 		p.Stores++
 		return true, 8 // lie
 	}
-	if p.used+int64(len(r.Chunk.Data)) > p.capacity {
-		return false, 8
-	}
-	data := append([]byte{}, r.Chunk.Data...)
+	data := r.Chunk.Data
 	if p.cheat == CorruptBits && len(data) > 0 {
+		data = append([]byte{}, data...)
 		data[0] ^= 0xff
 	}
-	p.chunks[r.Chunk.ID] = data
-	p.used += int64(len(data))
+	if !p.store.Put(r.Chunk.ID, data) {
+		return false, 8
+	}
 	p.Stores++
 	return true, 8
 }
@@ -267,7 +315,7 @@ func (p *Provider) onGet(from simnet.NodeID, req any) (any, int) {
 	if !ok {
 		return getResp{}, 8
 	}
-	data, have := p.chunks[id]
+	data, have := p.store.Get(id)
 	if !have {
 		return getResp{}, 8
 	}
@@ -283,8 +331,41 @@ func (p *Provider) onHas(from simnet.NodeID, req any) (any, int) {
 	if p.cheat == DropAfterAck || p.cheat == OutsourceFetch {
 		return true, 8 // keep lying
 	}
-	_, have := p.chunks[id]
-	return have, 8
+	return p.store.Has(id), 8
+}
+
+// onPin marks a chunk GC-exempt; live contracts and in-flight repairs
+// hold pins. Lying providers acknowledge pins on data they never kept,
+// consistent with their other answers.
+func (p *Provider) onPin(from simnet.NodeID, req any) (any, int) {
+	id, ok := req.(cryptoutil.Hash)
+	if !ok {
+		return false, 8
+	}
+	if p.cheat == DropAfterAck || p.cheat == OutsourceFetch {
+		return true, 8 // lie
+	}
+	return p.store.Pin(id), 8
+}
+
+func (p *Provider) onUnpin(from simnet.NodeID, req any) (any, int) {
+	id, ok := req.(cryptoutil.Hash)
+	if !ok {
+		return false, 8
+	}
+	p.store.Unpin(id)
+	return true, 8
+}
+
+// onRelease drops one upload reference, making the chunk collectable
+// once unpinned — the owner's way of saying an object was deleted.
+func (p *Provider) onRelease(from simnet.NodeID, req any) (any, int) {
+	id, ok := req.(cryptoutil.Hash)
+	if !ok {
+		return false, 8
+	}
+	p.store.Release(id)
+	return true, 8
 }
 
 // onChallenge answers a proof-of-storage Merkle challenge.
@@ -294,7 +375,7 @@ func (p *Provider) onChallenge(from simnet.NodeID, req any) (any, int) {
 		return challengeResp{}, 8
 	}
 	p.Challenges++
-	data, have := p.chunks[r.ChunkID]
+	data, have := p.store.Peek(r.ChunkID)
 	if !have {
 		return challengeResp{}, 8
 	}
@@ -309,7 +390,7 @@ func (p *Provider) onRetChallenge(from simnet.NodeID, req any) (any, int) {
 		return retChallengeResp{}, 8
 	}
 	p.Challenges++
-	data, have := p.chunks[r.ChunkID]
+	data, have := p.store.Peek(r.ChunkID)
 	if !have {
 		return retChallengeResp{}, 8
 	}
@@ -321,7 +402,7 @@ func (p *Provider) onPutSealed(from simnet.NodeID, req any) (any, int) {
 	if !ok {
 		return false, 8
 	}
-	if p.used+int64(len(r.Data)) > p.capacity {
+	if p.Used()+int64(len(r.Data)) > p.capacity {
 		return false, 8
 	}
 	if p.cheat == DropAfterAck || p.cheat == OutsourceFetch {
@@ -342,7 +423,7 @@ func (p *Provider) onPutSealed(from simnet.NodeID, req any) (any, int) {
 		p.sealed[r.ChunkID] = map[int][]byte{}
 	}
 	p.sealed[r.ChunkID][r.Replica] = append([]byte{}, r.Data...)
-	p.used += int64(len(r.Data))
+	p.sealedUsed += int64(len(r.Data))
 	p.Stores++
 	return true, 8
 }

@@ -90,12 +90,18 @@ type Manifest struct {
 	FileID cryptoutil.Hash
 	// Size is the original length in bytes.
 	Size int
-	// ChunkSize is the split granularity used at upload (replicate mode).
+	// ChunkSize is the split granularity used at upload (replicate mode,
+	// fixed-size chunking). Zero for content-defined chunking.
 	ChunkSize int
 	Mode      PlacementMode
 	// Chunks lists the content addresses in order. In erasure mode these
 	// are the shard addresses (data shards first, systematic order).
 	Chunks []cryptoutil.Hash
+	// ChunkLens is the variable-length chunk table of a content-defined
+	// upload: the byte length of each chunk, parallel to Chunks. Empty
+	// for fixed-size and erasure manifests, whose chunk lengths are
+	// derivable from ChunkSize/Size.
+	ChunkLens []int
 	// ChunkRoots holds the per-chunk proof-of-storage Merkle root.
 	ChunkRoots []cryptoutil.Hash
 	// Erasure parameters (Mode == ModeErasure).

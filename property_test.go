@@ -19,6 +19,8 @@ import (
 	"repro/internal/gossip"
 	"repro/internal/resil"
 	"repro/internal/simnet"
+	"repro/internal/storage"
+	"repro/internal/storage/chunker"
 )
 
 // quickCfg bounds the draw count (each case builds several simulated
@@ -186,6 +188,125 @@ func TestQuickBackoffDeterministic(t *testing.T) {
 		return d >= lo && d <= hi
 	}
 	if err := quick.Check(prop, quickCfg(5005, 200)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickChunkerDeterministic: two chunkers built from the same derived
+// polynomial cut any input at byte-identical boundaries, and a reused
+// chunker reproduces its own cuts — boundary placement is a pure function
+// of (polynomial, bounds, content). Cross-user dedup depends on this: two
+// uploaders only produce identical chunks if their chunkers agree.
+func TestQuickChunkerDeterministic(t *testing.T) {
+	prop := func(polSeed int64, raw []byte, sel uint8) bool {
+		avg := 256 << (sel % 3)
+		cfg := chunker.Defaults(avg)
+		cfg.Pol = chunker.DerivePol(polSeed)
+		a, err := chunker.New(cfg)
+		if err != nil {
+			return false
+		}
+		b, err := chunker.New(cfg)
+		if err != nil {
+			return false
+		}
+		data := append(raw, raw...) // stretch tiny draws into multi-chunk inputs
+		for len(data) < 4*avg {
+			data = append(data, raw...)
+			data = append(data, byte(len(data)))
+		}
+		cutsA := a.Cuts(data)
+		cutsB := b.Cuts(data)
+		cutsA2 := a.Cuts(data)
+		if len(cutsA) != len(cutsB) || len(cutsA) != len(cutsA2) {
+			return false
+		}
+		for i := range cutsA {
+			if cutsA[i] != cutsB[i] || cutsA[i] != cutsA2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(1701, 40)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickChunkerLocality: a one-byte edit changes O(1) chunks — the
+// multiset of chunks before and after the edit differs by at most the
+// chunks overlapping one resynchronisation window, never the whole file.
+// This is the property that keeps re-uploading an edited document cheap.
+func TestQuickChunkerLocality(t *testing.T) {
+	ck, err := chunker.New(chunker.Defaults(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64, rawAt uint16, flip uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, 32<<10)
+		rng.Read(data)
+		edited := append([]byte{}, data...)
+		at := int(rawAt) % len(edited)
+		edited[at] ^= flip | 1 // always a real change
+		before := map[string]int{}
+		ck.Split(data, func(c []byte) { before[string(c)]++ })
+		changed := 0
+		ck.Split(edited, func(c []byte) {
+			if before[string(c)] > 0 {
+				before[string(c)]--
+			} else {
+				changed++
+			}
+		})
+		// The edit dirties the chunk containing it; boundary movement can
+		// additionally merge/split its neighbours. Anything above a small
+		// constant means the edit's influence escaped the window.
+		return changed <= 4
+	}
+	if err := quick.Check(prop, quickCfg(1702, 30)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDedupOrderInvariant: a localstore's physical and logical byte
+// accounting is independent of upload order — content-address dedup is
+// commutative, so whichever user uploads first, the fleet stores the same
+// bytes and reports the same dedup ratio.
+func TestQuickDedupOrderInvariant(t *testing.T) {
+	prop := func(seed int64, rawN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + int(rawN)%12
+		// A chunk population with deliberate duplicates.
+		chunks := make([][]byte, 0, 2*n)
+		for i := 0; i < n; i++ {
+			c := make([]byte, 64+rng.Intn(512))
+			rng.Read(c)
+			chunks = append(chunks, c)
+			if rng.Intn(2) == 0 {
+				chunks = append(chunks, c) // duplicate upload
+			}
+		}
+		put := func(order []int) (int64, int64, float64) {
+			ls := storage.NewLocalStore(storage.LocalStoreConfig{Capacity: 1 << 20})
+			for _, i := range order {
+				if !ls.Put(cryptoutil.SumHash(chunks[i]), chunks[i]) {
+					t.Fatal("put refused below capacity")
+				}
+			}
+			return ls.PhysicalBytes(), ls.LogicalBytes(), ls.DedupRatio()
+		}
+		fwd := make([]int, len(chunks))
+		for i := range fwd {
+			fwd[i] = i
+		}
+		shuffled := append([]int{}, fwd...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		p1, l1, r1 := put(fwd)
+		p2, l2, r2 := put(shuffled)
+		return p1 == p2 && l1 == l2 && r1 == r2
+	}
+	if err := quick.Check(prop, quickCfg(1703, 40)); err != nil {
 		t.Error(err)
 	}
 }
