@@ -19,6 +19,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/storage"
 	"repro/internal/storage/chunker"
+	"repro/internal/workload"
 )
 
 // TestAllocSendZero pins the raw substrate Send+deliver cycle at zero
@@ -200,4 +201,39 @@ func TestAllocTieredStore(t *testing.T) {
 	if avg := testing.AllocsPerRun(200, dupPut); avg != 0 {
 		t.Errorf("dedup-hit Put allocates %.2f/op in steady state, want 0", avg)
 	}
+}
+
+// TestAllocZipfDrawZero pins a prepared Zipf sampler's Draw at exactly
+// zero allocations per request — X18 draws one per generated request, so
+// a million-user schedule cannot afford per-draw garbage.
+func TestAllocZipfDrawZero(t *testing.T) {
+	z := workload.NewZipf(1024, 1.1)
+	rng := workload.Rand(9, 0xA110C)
+	sink := 0
+	if avg := testing.AllocsPerRun(1000, func() { sink += z.Draw(rng) }); avg != 0 {
+		t.Errorf("Zipf.Draw allocates %.2f/op, want 0", avg)
+	}
+	_ = sink
+}
+
+// TestAllocFlashTickZero pins the flash-crowd tick — the time-dependent
+// multiplier plus the composite hot-object draw — at zero allocations
+// per op across the whole spike lifecycle (pre, ramp, peak, decay).
+func TestAllocFlashTickZero(t *testing.T) {
+	z := workload.NewZipf(256, 1.1)
+	f := workload.Flash{Object: 255, Start: time.Minute, Ramp: time.Minute, Peak: 1000, Decay: time.Minute}
+	h := workload.NewHotZipf(z, f)
+	rng := workload.Rand(10, 0xF1A54)
+	at := time.Duration(0)
+	sink := 0.0
+	tick := func() {
+		at += 500 * time.Millisecond // walks through every spike phase
+		sink += f.Multiplier(at)
+		sink += h.WeightFactor(at)
+		sink += float64(h.DrawAt(at, rng))
+	}
+	if avg := testing.AllocsPerRun(1000, tick); avg != 0 {
+		t.Errorf("flash-crowd tick allocates %.2f/op, want 0", avg)
+	}
+	_ = sink
 }

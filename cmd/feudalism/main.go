@@ -1,12 +1,13 @@
 // Command feudalism is the umbrella CLI for the reproduction of "The
 // Barriers to Overthrowing Internet Feudalism" (HotNets-XVI, 2017). It
 // regenerates the paper's three tables and runs the quantitative
-// experiments (X1–X14, plus sensitivity sweeps) described in EXPERIMENTS.md.
+// experiments (X1–X18, plus sensitivity sweeps) described in EXPERIMENTS.md.
 //
 // Usage:
 //
 //	feudalism table1|table2|table3|zooko          # paper tables + naming triangle
 //	feudalism experiment <id> [-seed N] [-trials T] [-workers W]
+//	                [-workload zipf|diurnal|flash]  # X18 schedule shape
 //	feudalism all [-seed N]                       # everything, in order
 //	feudalism list                                # available experiment ids
 //	feudalism bench [-json out.json] [-seed N] [-trials T] [-workers W]
@@ -88,6 +89,7 @@ func main() {
 		trials := rest.Int("trials", 1, "number of independent seeds to aggregate over")
 		workers := rest.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		timing := rest.Bool("timing", false, "show wall time and allocations where the experiment supports it (X15)")
+		wl := rest.String("workload", "flash", "X18 schedule shape: zipf (steady popularity), diurnal (day/night cycle), or flash (crowd spike)")
 		_ = rest.Parse(fs.Args()[1:])
 		if *timing {
 			experiments.SetWallClock(func() int64 { return time.Now().UnixNano() })
@@ -96,6 +98,20 @@ func main() {
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; see `feudalism list`\n", id)
 			os.Exit(2)
+		}
+		if id == "x18" && *trials <= 1 {
+			valid := false
+			for _, v := range experiments.WorkloadVariants() {
+				if v == *wl {
+					valid = true
+				}
+			}
+			if !valid {
+				fmt.Fprintf(os.Stderr, "unknown workload %q; want one of %v\n", *wl, experiments.WorkloadVariants())
+				os.Exit(2)
+			}
+			fmt.Print(experiments.WorkloadContention(*seed2, *wl))
+			return
 		}
 		if *trials > 1 && e.Multi != nil {
 			fmt.Print(e.Multi(simnet.Seeds(*seed2, *trials), *workers))
@@ -161,7 +177,8 @@ commands:
   table2      regenerate the paper's Table 2 (storage systems)
   table3      regenerate the paper's Table 3 (cloud vs device capacity)
   zooko       Zooko-triangle scores for all implemented naming schemes
-  experiment  run one experiment by id (see list)
+  experiment  run one experiment by id (see list); x18 takes
+              -workload zipf|diurnal|flash to pick the schedule shape
   all         tables + every experiment
   list        list experiment ids
   bench       run every experiment and emit machine-readable BENCH JSON`)

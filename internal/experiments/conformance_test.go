@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/simnet/fault"
+)
+
+// TestX18P2PWorkloadUnderFaults drives the X18 p2p-webapp arm — under
+// the full flash-crowd workload — through the canonical five-scenario
+// fault battery, with the client population fault-eligible (author and
+// tracker are anchors, as in the X14/X16 conventions). Two invariants
+// per scenario:
+//
+//   - a mid-fault availability floor: even with clients crashing,
+//     partitioned, or on degraded links *while the flash crowd is
+//     arriving*, the swarm keeps answering a bounded fraction of
+//     requests within the SLA
+//   - post-heal recovery: requests scheduled after the canonical
+//     recovery point (horizon·4/5, after every battery plan has healed)
+//     succeed at near-clean rates
+//
+// Floors carry margin below the measured values (seed 42: mid-fault
+// 40–64% by scenario, post-heal ≥ 96%) so they gate regressions, not
+// noise; the runs are fully deterministic, so any movement is a real
+// behaviour change.
+func TestX18P2PWorkloadUnderFaults(t *testing.T) {
+	const seed = 42
+	sp := x18SpecFor(true)
+	reqs, rs := x18Stream(seed, sp, "flash")
+	midFloor := map[string]float64{
+		"clean":           0, // no fault window; overall gate below covers it
+		"lossy-edge":      45,
+		"flash-partition": 25,
+		"rolling-churn":   40,
+		"corrupt-10pct":   45,
+	}
+	recPoint := fault.RecoveryPoint(sp.horizon)
+	for _, sc := range fault.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			cell, outcomes := x18P2P(seed, sp, reqs, rs, &sc)
+			if len(outcomes) == 0 {
+				t.Fatal("arm setup failed")
+			}
+			// The battery's step times are fixed fractions of the horizon,
+			// so a plan built over any non-empty population has the same
+			// active window as the one applied inside the arm.
+			plan := sc.Build(seed, []simnet.NodeID{1, 2, 3, 4}, sp.horizon)
+			ws, we := plan.Start(), plan.End()
+			share := func(from, to time.Duration) (float64, int) {
+				var total, ok float64
+				for _, o := range outcomes {
+					if o.at >= from && o.at < to {
+						total++
+						if o.ok {
+							ok++
+						}
+					}
+				}
+				if total == 0 {
+					return 0, 0
+				}
+				return 100 * ok / total, int(total)
+			}
+			if we > ws {
+				mid, n := share(ws, we)
+				if mid < midFloor[sc.Name] {
+					t.Errorf("mid-fault availability %.1f%% over %d requests, floor %.0f%%",
+						mid, n, midFloor[sc.Name])
+				}
+			}
+			post, n := share(recPoint, sp.horizon)
+			if post < 90 {
+				t.Errorf("post-heal availability %.1f%% over %d requests, want ≥ 90%%", post, n)
+			}
+			if sc.Name == "clean" && cell.avail < 0.95 {
+				t.Errorf("clean-scenario availability %.1f%%, want ≥ 95%%", cell.avail*100)
+			}
+		})
+	}
+}

@@ -170,6 +170,14 @@ func Registry() []Experiment {
 			},
 			Tiny: func(seed int64) fmt.Stringer { return DedupTieringTiny(seed) },
 		},
+		{
+			ID: "x18", Desc: "X18: flash-crowd workload, feudal single server vs replicated federation vs p2p webapp",
+			Run: func(seed int64) fmt.Stringer { return WorkloadContention(seed, "flash") },
+			Multi: func(seeds []int64, workers int) fmt.Stringer {
+				return WorkloadContentionMulti(seeds, workers)
+			},
+			Tiny: func(seed int64) fmt.Stringer { return WorkloadContentionTiny(seed) },
+		},
 	}
 }
 

@@ -1,0 +1,98 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// deliverAt sends one zero-size message a→b and returns the virtual
+// delivery instant relative to the send.
+func deliverAt(t *testing.T, nw *Network, a, b *Node) time.Duration {
+	t.Helper()
+	start := nw.Now()
+	var at time.Duration
+	b.Handle("probe", func(Message) { at = nw.Now() - start })
+	if !a.Send(b.ID(), "probe", nil, 0) {
+		t.Fatal("send refused")
+	}
+	nw.RunAll()
+	return at
+}
+
+// TestRegionMatrixDefaultOff: a network that never installs a geography
+// produces exactly the same event stream as one that installs and then
+// removes it — the byte-identity guarantee the pre-X18 goldens rely on.
+func TestRegionMatrixDefaultOff(t *testing.T) {
+	p := LinkProfile{Latency: 5 * time.Millisecond}
+	nw := New(1)
+	a, b := nw.AddNodeWithProfile(p), nw.AddNodeWithProfile(p)
+	if got := deliverAt(t, nw, a, b); got != 10*time.Millisecond {
+		t.Fatalf("baseline delay %v, want 10ms", got)
+	}
+	nw.SetRegionMatrix(
+		map[NodeID]int{a.ID(): 0, b.ID(): 1},
+		[][]time.Duration{{0, 40 * time.Millisecond}, {40 * time.Millisecond, 0}},
+	)
+	if got := deliverAt(t, nw, a, b); got != 50*time.Millisecond {
+		t.Fatalf("matrix delay %v, want 50ms", got)
+	}
+	nw.SetRegionMatrix(nil, nil) // empty assignment removes the hook
+	if got := deliverAt(t, nw, a, b); got != 10*time.Millisecond {
+		t.Fatalf("delay after removal %v, want baseline 10ms", got)
+	}
+}
+
+// TestRegionMatrixAsymmetricAndDefaultRegion: extra[a][b] need not equal
+// extra[b][a], and unassigned nodes fall into region 0.
+func TestRegionMatrixAsymmetricAndDefaultRegion(t *testing.T) {
+	p := LinkProfile{Latency: 5 * time.Millisecond}
+	nw := New(1)
+	a, b, c := nw.AddNodeWithProfile(p), nw.AddNodeWithProfile(p), nw.AddNodeWithProfile(p)
+	nw.SetRegionMatrix(
+		map[NodeID]int{a.ID(): 0, b.ID(): 1}, // c unassigned → region 0
+		[][]time.Duration{{0, 30 * time.Millisecond}, {70 * time.Millisecond, 0}},
+	)
+	if got := deliverAt(t, nw, a, b); got != 40*time.Millisecond {
+		t.Errorf("0→1 delay %v, want 40ms", got)
+	}
+	if got := deliverAt(t, nw, b, a); got != 80*time.Millisecond {
+		t.Errorf("1→0 delay %v, want 80ms", got)
+	}
+	if got := deliverAt(t, nw, c, a); got != 10*time.Millisecond {
+		t.Errorf("unassigned→0 delay %v, want free same-region 10ms", got)
+	}
+	if got := deliverAt(t, nw, c, b); got != 40*time.Millisecond {
+		t.Errorf("unassigned→1 delay %v, want 40ms", got)
+	}
+}
+
+// TestRegionMatrixValidation: non-square matrices and out-of-range region
+// assignments are configuration bugs and panic.
+func TestRegionMatrixValidation(t *testing.T) {
+	nw := New(1)
+	a := nw.AddNode()
+	for name, f := range map[string]func(){
+		"ragged matrix": func() {
+			nw.SetRegionMatrix(map[NodeID]int{a.ID(): 0},
+				[][]time.Duration{{0, 0}, {0}})
+		},
+		"region out of range": func() {
+			nw.SetRegionMatrix(map[NodeID]int{a.ID(): 1},
+				[][]time.Duration{{0}})
+		},
+		"negative region": func() {
+			nw.SetRegionMatrix(map[NodeID]int{a.ID(): -1},
+				[][]time.Duration{{0}})
+		},
+	} {
+		f := f
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

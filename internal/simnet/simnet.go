@@ -155,7 +155,12 @@ type Network struct {
 	// exchange messages. Empty map means no partition.
 	partition map[NodeID]int
 	fault     LinkFault
-	trace     Trace
+	// regionOf/regionExtra implement the opt-in inter-region delay matrix
+	// (SetRegionMatrix). Both stay nil unless a geography is installed, so
+	// the default send path is untouched.
+	regionOf    map[NodeID]int
+	regionExtra [][]time.Duration
+	trace       Trace
 	// latency holds per-message-kind delivery latency histograms, created
 	// lazily on first delivery of each kind. lastKind/lastLatency memoize
 	// the most recent lookup: large-population traffic arrives in long runs
@@ -358,6 +363,34 @@ func (nw *Network) Partition(groups ...[]NodeID) {
 // dropped at send time while partitioned stay lost (see Partition).
 func (nw *Network) Heal() { nw.partition = map[NodeID]int{} }
 
+// SetRegionMatrix installs an opt-in inter-region propagation-delay
+// matrix: a message from a node in region a to a node in region b gains
+// extra[a][b] of one-way delay on top of both endpoints' profile latency.
+// Nodes absent from the assignment default to region 0. Passing an empty
+// assignment (or empty matrix) removes the hook.
+//
+// The hook is default-off and draws no randomness either way, so a
+// network that never installs a geography keeps its historical event
+// stream bit for bit — the guarantee the pre-X18 experiment goldens rely
+// on. internal/workload.RegionSet.Apply is the intended caller.
+func (nw *Network) SetRegionMatrix(region map[NodeID]int, extra [][]time.Duration) {
+	if len(region) == 0 || len(extra) == 0 {
+		nw.regionOf, nw.regionExtra = nil, nil
+		return
+	}
+	for _, row := range extra {
+		if len(row) != len(extra) {
+			panic("simnet: region matrix must be square")
+		}
+	}
+	for id, r := range region {
+		if r < 0 || r >= len(extra) {
+			panic(fmt.Sprintf("simnet: node %d assigned to region %d outside matrix [0, %d)", id, r, len(extra)))
+		}
+	}
+	nw.regionOf, nw.regionExtra = region, extra
+}
+
 // SetLinkFault installs f as the network-wide in-flight fault model;
 // the zero LinkFault turns injection off.
 func (nw *Network) SetLinkFault(f LinkFault) { nw.fault = f }
@@ -479,8 +512,12 @@ func (nw *Network) Send(msg Message) bool {
 		depart += ser
 		src.uplinkFree = depart
 	}
-	// Propagation + jitter.
+	// Propagation + jitter. An installed region matrix (opt-in; see
+	// SetRegionMatrix) adds its pairwise inter-region delay.
 	delay := src.profile.Latency + dst.profile.Latency
+	if nw.regionOf != nil {
+		delay += nw.regionExtra[nw.regionOf[msg.From]][nw.regionOf[msg.To]]
+	}
 	if j := src.profile.Jitter + dst.profile.Jitter; j > 0 {
 		delay += time.Duration(nw.rng.Int63n(int64(j)))
 	}

@@ -1,0 +1,103 @@
+package webapp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+// TestForgetDropsSiteAndRefetches: Forget removes the local manifest and
+// blobs, a re-visit goes back over the network, and the author's
+// BlobBytesServed ledger grows by exactly the payload re-served. Also
+// exercises the stale-seeder path: the forgetter is still registered at
+// the tracker, answers not-have, and the fetcher fails over.
+func TestForgetDropsSiteAndRefetches(t *testing.T) {
+	nw, _, peers := webWorld(t, 21, 5)
+	owner := key(t, 22)
+	var site cryptoutil.Hash
+	peers[0].Publish(owner, 1, sampleFiles(), cryptoutil.Hash{}, func(m *Manifest) { site = m.Site })
+	nw.Run(nw.Now() + time.Minute)
+
+	var verr error
+	peers[1].Visit(site, func(_ map[string][]byte, err error) { verr = err })
+	nw.Run(nw.Now() + time.Minute)
+	if verr != nil {
+		t.Fatal(verr)
+	}
+	if _, ok := peers[1].Manifest(site); !ok {
+		t.Fatal("visitor has no manifest")
+	}
+	served := peers[0].BlobBytesServed
+	m, _ := peers[0].Manifest(site)
+	if served != int64(m.TotalSize()) {
+		t.Errorf("author served %d bytes after one visit, want %d", served, m.TotalSize())
+	}
+
+	peers[1].Forget(site)
+	if _, ok := peers[1].Manifest(site); ok {
+		t.Error("manifest survived Forget")
+	}
+	if len(peers[1].blobs) != 0 {
+		t.Errorf("%d blobs survived Forget", len(peers[1].blobs))
+	}
+	if _, ok := peers[1].FileContent(site, "index.html"); ok {
+		t.Error("FileContent still answers after Forget")
+	}
+
+	// Re-visit: everything must come over the network again.
+	peers[1].Visit(site, func(_ map[string][]byte, err error) { verr = err })
+	nw.Run(nw.Now() + time.Minute)
+	if verr != nil {
+		t.Fatalf("re-visit after Forget: %v", verr)
+	}
+	if _, ok := peers[1].FileContent(site, "index.html"); !ok {
+		t.Error("re-visit did not restore content")
+	}
+	total := peers[0].BlobBytesServed + peers[1].BlobBytesServed
+	if total != 2*int64(m.TotalSize()) {
+		t.Errorf("network served %d payload bytes after forget+revisit, want %d", total, 2*m.TotalSize())
+	}
+}
+
+// TestForgetKeepsSharedBlobs: a blob referenced by another followed site
+// survives; blobs unique to the forgotten site go.
+func TestForgetKeepsSharedBlobs(t *testing.T) {
+	nw, _, peers := webWorld(t, 23, 4)
+	shared := []byte("the very same bytes on both sites")
+	filesA := map[string][]byte{"shared.bin": shared, "only-a.txt": []byte("a")}
+	filesB := map[string][]byte{"shared.bin": shared, "only-b.txt": []byte("b")}
+	var siteA, siteB cryptoutil.Hash
+	peers[0].Publish(key(t, 24), 1, filesA, cryptoutil.Hash{}, func(m *Manifest) { siteA = m.Site })
+	peers[1].Publish(key(t, 25), 1, filesB, cryptoutil.Hash{}, func(m *Manifest) { siteB = m.Site })
+	nw.Run(nw.Now() + time.Minute)
+
+	v := peers[2]
+	for _, s := range []cryptoutil.Hash{siteA, siteB} {
+		var verr error
+		v.Visit(s, func(_ map[string][]byte, err error) { verr = err })
+		nw.Run(nw.Now() + time.Minute)
+		if verr != nil {
+			t.Fatal(verr)
+		}
+	}
+	if len(v.blobs) != 3 { // shared + only-a + only-b
+		t.Fatalf("visitor holds %d blobs, want 3", len(v.blobs))
+	}
+
+	v.Forget(siteA)
+	if _, ok := v.blobs[cryptoutil.SumHash(shared)]; !ok {
+		t.Error("shared blob dropped even though site B still references it")
+	}
+	if _, ok := v.blobs[cryptoutil.SumHash([]byte("a"))]; ok {
+		t.Error("blob unique to forgotten site survived")
+	}
+	if content, ok := v.FileContent(siteB, "shared.bin"); !ok || string(content) != string(shared) {
+		t.Error("site B content damaged by forgetting site A")
+	}
+	// Forgetting a site never followed is a no-op.
+	v.Forget(cryptoutil.SumHash([]byte("ghost")))
+	if len(v.blobs) != 2 {
+		t.Errorf("ghost Forget changed blob store: %d blobs", len(v.blobs))
+	}
+}

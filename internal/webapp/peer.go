@@ -85,8 +85,11 @@ type Peer struct {
 	// sites maps site address → newest verified manifest.
 	sites map[cryptoutil.Hash]*Manifest
 	blobs map[cryptoutil.Hash][]byte
-	// BlobServes counts blobs served to other visitors (seeding load).
-	BlobServes int
+	// BlobServes counts blobs served to other visitors (seeding load);
+	// BlobBytesServed is the same load in payload bytes, which is what
+	// origin-load-share comparisons (X18) weigh by.
+	BlobServes      int
+	BlobBytesServed int64
 
 	// Observability: swarm-wide visit outcomes and seeding load; each
 	// Visit is spanned as webapp.visit.duration_s.
@@ -166,6 +169,7 @@ func (p *Peer) onBlob(from simnet.NodeID, req any) (any, int) {
 		return getBlobResp{}, 8
 	}
 	p.BlobServes++
+	p.BlobBytesServed += int64(len(data))
 	p.obsServes.Inc()
 	return getBlobResp{Data: data, OK: true}, 16 + len(data)
 }
@@ -375,6 +379,39 @@ func (p *Peer) fetchBlobFrom(id cryptoutil.Hash, seeders []simnet.NodeID, i int,
 		}
 		p.fetchBlobFrom(id, seeders, i+1, done)
 	})
+}
+
+// Forget drops the peer's local copy of a site — its manifest and any
+// blobs no other followed site still references — so the next Visit
+// re-fetches everything over the network. Workload harnesses use it to
+// model a fresh user arriving on a device that happened to serve an
+// earlier one: without it, a revisit is a pure cache hit and measures
+// nothing. The tracker is not informed (it has no unannounce); a seeder
+// asked for a blob it no longer holds answers not-have and the fetcher
+// fails over, exactly as with a restarted peer.
+func (p *Peer) Forget(site cryptoutil.Hash) {
+	m, ok := p.sites[site]
+	if !ok {
+		return
+	}
+	delete(p.sites, site)
+	for _, fe := range m.Files {
+		if !p.blobReferenced(fe.ID) {
+			delete(p.blobs, fe.ID)
+		}
+	}
+}
+
+// blobReferenced reports whether any followed site still references a blob.
+func (p *Peer) blobReferenced(id cryptoutil.Hash) bool {
+	for _, m := range p.sites {
+		for _, fe := range m.Files {
+			if fe.ID == id {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Refresh checks the DHT for a newer manifest version of a site the peer

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Region describes one geography: the access-link profile its users
+// attach with, and the phase offset of its diurnal cycle (a region east
+// of the reference peaks earlier in virtual time).
+type Region struct {
+	Name    string
+	Profile simnet.LinkProfile
+	Phase   time.Duration
+}
+
+// RegionSet is a latency/bandwidth geography: a list of regions plus the
+// pairwise extra one-way propagation delay between them. It is applied
+// through the existing simnet link machinery — per-node access profiles
+// via Node.SetProfile (the same hook fault.Plan.DegradeLinksAt uses) and
+// the inter-region delays via the opt-in Network.SetRegionMatrix hook,
+// which is default-off and costs existing experiments nothing.
+type RegionSet struct {
+	Regions []Region
+	// Extra[a][b] is the additional one-way delay from a node in region a
+	// to a node in region b, on top of both endpoints' profile latency.
+	Extra [][]time.Duration
+}
+
+// DefaultRegions returns up to four canonical regions spread around the
+// globe: home-broadband access links whose base latency grows with
+// distance from the reference region, diurnal phases spaced evenly across
+// the day, and an inter-region delay matrix that grows ~25 ms per
+// region-hop (same-region traffic pays nothing extra). Deterministic — no
+// RNG draws.
+func DefaultRegions(n int, day time.Duration) RegionSet {
+	names := []string{"us-east", "eu-west", "ap-south", "sa-east"}
+	if n < 1 || n > len(names) {
+		panic(fmt.Sprintf("workload: DefaultRegions supports 1..%d regions, got %d", len(names), n))
+	}
+	rs := RegionSet{
+		Regions: make([]Region, n),
+		Extra:   make([][]time.Duration, n),
+	}
+	for i := 0; i < n; i++ {
+		prof := simnet.HomeBroadbandProfile()
+		prof.Latency += time.Duration(i) * 5 * time.Millisecond
+		rs.Regions[i] = Region{
+			Name:    names[i],
+			Profile: prof,
+			Phase:   day * time.Duration(i) / time.Duration(n),
+		}
+		rs.Extra[i] = make([]time.Duration, n)
+		for j := 0; j < n; j++ {
+			if hops := i - j; hops != 0 {
+				if hops < 0 {
+					hops = -hops
+				}
+				rs.Extra[i][j] = 20*time.Millisecond + time.Duration(hops)*25*time.Millisecond
+			}
+		}
+	}
+	return rs
+}
+
+// Assign returns the region of the i-th member of a population: round
+// robin, so populations spread evenly and the mapping is position-stable
+// across the generator (Generate) and the network side (Apply).
+func (rs RegionSet) Assign(i int) int { return i % len(rs.Regions) }
+
+// Apply attaches nodes to their regions in index order: node i gets
+// region Assign(i)'s access profile, and the pairwise delay matrix is
+// installed on the network. Nodes not listed keep their profiles and fall
+// into region 0 for matrix purposes.
+func (rs RegionSet) Apply(nw *simnet.Network, nodes []simnet.NodeID) {
+	assign := make(map[simnet.NodeID]int, len(nodes))
+	for i, id := range nodes {
+		r := rs.Assign(i)
+		assign[id] = r
+		nw.Node(id).SetProfile(rs.Regions[r].Profile)
+	}
+	nw.SetRegionMatrix(assign, rs.Extra)
+}

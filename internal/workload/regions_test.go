@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// TestDefaultRegionsShape: canonical geography is well-formed — latency
+// grows away from the reference, phases split the day evenly, and the
+// delay matrix charges per region-hop with a free diagonal.
+func TestDefaultRegionsShape(t *testing.T) {
+	day := 24 * time.Hour
+	rs := DefaultRegions(4, day)
+	if len(rs.Regions) != 4 || len(rs.Extra) != 4 {
+		t.Fatalf("got %d regions, %d matrix rows", len(rs.Regions), len(rs.Extra))
+	}
+	base := simnet.HomeBroadbandProfile()
+	for i, r := range rs.Regions {
+		if want := base.Latency + time.Duration(i)*5*time.Millisecond; r.Profile.Latency != want {
+			t.Errorf("region %d latency %v, want %v", i, r.Profile.Latency, want)
+		}
+		if want := day * time.Duration(i) / 4; r.Phase != want {
+			t.Errorf("region %d phase %v, want %v", i, r.Phase, want)
+		}
+		for j := range rs.Regions {
+			hops := i - j
+			if hops < 0 {
+				hops = -hops
+			}
+			want := time.Duration(0)
+			if hops > 0 {
+				want = 20*time.Millisecond + time.Duration(hops)*25*time.Millisecond
+			}
+			if rs.Extra[i][j] != want {
+				t.Errorf("Extra[%d][%d] = %v, want %v", i, j, rs.Extra[i][j], want)
+			}
+		}
+	}
+	for _, n := range []int{0, 5} {
+		n := n
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("DefaultRegions(%d) should panic", n)
+				}
+			}()
+			DefaultRegions(n, day)
+		}()
+	}
+}
+
+// TestAssignRoundRobin: position-stable round-robin homing.
+func TestAssignRoundRobin(t *testing.T) {
+	rs := DefaultRegions(3, time.Hour)
+	for i := 0; i < 12; i++ {
+		if rs.Assign(i) != i%3 {
+			t.Fatalf("Assign(%d) = %d", i, rs.Assign(i))
+		}
+	}
+}
+
+// TestApplyInstallsGeography: Apply sets each node's access profile and
+// routes cross-region messages through the (possibly asymmetric) delay
+// matrix. Zero-jitter, zero-loss profiles make delivery times exact:
+// one-way delay = src latency + dst latency + Extra[src][dst].
+func TestApplyInstallsGeography(t *testing.T) {
+	clean := simnet.LinkProfile{Latency: 10 * time.Millisecond, UplinkBps: 1e9, DownlinkBps: 1e9}
+	rs := RegionSet{
+		Regions: []Region{{Name: "a", Profile: clean}, {Name: "b", Profile: clean}},
+		Extra: [][]time.Duration{
+			{0, 30 * time.Millisecond},
+			{70 * time.Millisecond, 0},
+		},
+	}
+	nw := simnet.New(1)
+	n0 := nw.AddNode() // region 0
+	n1 := nw.AddNode() // region 1
+	n2 := nw.AddNode() // region 0 again (round robin)
+	rs.Apply(nw, []simnet.NodeID{n0.ID(), n1.ID(), n2.ID()})
+
+	for i, n := range []*simnet.Node{n0, n1, n2} {
+		if n.Profile() != clean {
+			t.Errorf("node %d profile not applied", i)
+		}
+	}
+	got := map[string]time.Duration{}
+	recv := func(name string, n *simnet.Node) {
+		n.Handle("ping", func(simnet.Message) { got[name] = nw.Now() })
+	}
+	recv("0to1", n1)
+	recv("1to0", n0)
+	recv("0to0", n2)
+	n0.Send(n1.ID(), "ping", nil, 0)
+	nw.RunAll()
+	if want := 10*time.Millisecond + 10*time.Millisecond + 30*time.Millisecond; got["0to1"] != want {
+		t.Errorf("0→1 delivered at %v, want %v", got["0to1"], want)
+	}
+	start := nw.Now()
+	n1.Send(n0.ID(), "ping", nil, 0)
+	nw.RunAll()
+	if want := start + 90*time.Millisecond; got["1to0"] != want {
+		t.Errorf("1→0 delivered at %v, want %v (asymmetric matrix)", got["1to0"], want)
+	}
+	start = nw.Now()
+	n0.Send(n2.ID(), "ping", nil, 0)
+	nw.RunAll()
+	if want := start + 20*time.Millisecond; got["0to0"] != want {
+		t.Errorf("same-region delivered at %v, want %v (no extra)", got["0to0"], want)
+	}
+}

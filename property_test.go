@@ -8,6 +8,7 @@ package repro
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/storage"
 	"repro/internal/storage/chunker"
+	"repro/internal/workload"
 )
 
 // quickCfg bounds the draw count (each case builds several simulated
@@ -307,6 +309,110 @@ func TestQuickDedupOrderInvariant(t *testing.T) {
 		return p1 == p2 && l1 == l2 && r1 == r2
 	}
 	if err := quick.Check(prop, quickCfg(1703, 40)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickZipfChiSquare: for any catalog size and skew, empirical draw
+// frequencies from the alias table fit the exact pmf under a chi-square
+// goodness-of-fit test. The critical value comes from the Wilson–Hilferty
+// approximation at z ≈ 3.29 (the 99.95th percentile), so a false failure
+// across the whole quick batch is vanishingly unlikely while a broken
+// alias table (wrong residues, swapped buckets) fails immediately.
+func TestQuickZipfChiSquare(t *testing.T) {
+	prop := func(seed int64, rawN, rawS uint8) bool {
+		n := 8 + int(rawN)%25      // catalog size in [8, 32]
+		s := float64(rawS%16) / 10 // skew in [0, 1.5]
+		z := workload.NewZipf(n, s)
+		rng := workload.Rand(seed%(1<<30), 0xC41)
+		const draws = 50000
+		counts := make([]float64, n)
+		for i := 0; i < draws; i++ {
+			counts[z.Draw(rng)]++
+		}
+		var chi2 float64
+		for i, c := range counts {
+			exp := z.P(i) * draws
+			chi2 += (c - exp) * (c - exp) / exp
+		}
+		df := float64(n - 1)
+		const zCrit = 3.29
+		crit := df * math.Pow(1-2/(9*df)+zCrit*math.Sqrt(2/(9*df)), 3)
+		if chi2 > crit {
+			t.Logf("n=%d s=%.1f: chi2 %.1f > crit %.1f", n, s, chi2, crit)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(181, 20)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDiurnalMeanWithin1pct: whatever the amplitude, night floor,
+// and period, the normalizer keeps the time-averaged rate within 1% of
+// the configured mean — the workload engine's "same total demand, shaped
+// differently" contract.
+func TestQuickDiurnalMeanWithin1pct(t *testing.T) {
+	prop := func(rawMean, rawAmp, rawFloor uint8, rawPeriod uint16) bool {
+		cfg := workload.DiurnalConfig{
+			Mean:   0.05 + float64(rawMean)/32,  // [0.05, 8]
+			Amp:    float64(rawAmp%100) / 100,   // [0, 1)
+			Floor:  float64(rawFloor%150) / 100, // [0, 1.5)
+			Period: time.Duration(1+int(rawPeriod)%1440) * time.Minute,
+		}
+		d := workload.NewDiurnal(cfg)
+		const steps = 10000
+		var sum float64
+		for i := 0; i < steps; i++ {
+			at := time.Duration((float64(i) + 0.5) / steps * float64(cfg.Period))
+			sum += d.Rate(at)
+		}
+		avg := sum / steps
+		if math.Abs(avg-cfg.Mean) > 0.01*cfg.Mean {
+			t.Logf("cfg %+v: time-averaged %.4f vs mean %.4f", cfg, avg, cfg.Mean)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(182, 50)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFlashRampHitsPeak: for any spike geometry the multiplier rides
+// the ramp monotonically, tops out at exactly the configured peak, and
+// never undershoots baseline afterwards.
+func TestQuickFlashRampHitsPeak(t *testing.T) {
+	prop := func(rawPeak uint16, rawStart, rawRamp, rawDecay uint8) bool {
+		f := workload.Flash{
+			Object: 0,
+			Start:  time.Duration(rawStart) * time.Second,
+			Ramp:   time.Duration(1+int(rawRamp)%240) * time.Second,
+			Peak:   2 + float64(rawPeak%5000),
+			Decay:  time.Duration(int(rawDecay)%300) * time.Second,
+		}
+		if f.Multiplier(f.Start+f.Ramp) != f.Peak {
+			t.Logf("%+v: multiplier at ramp top %.3f, want exactly %.3f", f, f.Multiplier(f.Start+f.Ramp), f.Peak)
+			return false
+		}
+		prev := 0.0
+		for i := 0; i <= 16; i++ {
+			at := f.Start + f.Ramp*time.Duration(i)/16
+			m := f.Multiplier(at)
+			if m < prev || m < 1 {
+				return false
+			}
+			prev = m
+		}
+		for i := 1; i <= 16; i++ {
+			if m := f.Multiplier(f.Start + f.Ramp + f.Decay*time.Duration(i)); m < 1 || m > f.Peak {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(183, 100)); err != nil {
 		t.Error(err)
 	}
 }

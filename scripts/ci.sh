@@ -19,6 +19,14 @@ trap 'rm -rf "$tmp"' EXIT INT TERM
 go build -o "$tmp/feudalism" ./cmd/feudalism
 go build -o "$tmp/benchdiff" ./cmd/benchdiff
 
+# benchdiff treats experiments present only in the fresh run as additions,
+# not regressions — so a baseline predating X18 would silently skip gating
+# the workload engine. Require the entry before trusting the diff.
+grep -q '"id": "x18"' BENCH_baseline.json || {
+	echo "bench gate: BENCH_baseline.json has no x18 entry; regenerate the baseline" >&2
+	exit 1
+}
+
 echo "bench gate: running deterministic bench (seed 42, full scale)"
 "$tmp/feudalism" bench -scale full -seed 42 -trials 1 -json "$tmp/bench.json"
 "$tmp/benchdiff" BENCH_baseline.json "$tmp/bench.json"

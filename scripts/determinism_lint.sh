@@ -21,6 +21,13 @@ for f in $(find internal -name '*.go' ! -name '*_test.go' ! -path 'internal/simn
     fi
 done
 
+# The workload engine must stay inside the sweep: every generator draw has
+# to come off the seeded streams, or X18 schedules stop replaying.
+if ! find internal/workload -name '*.go' ! -name '*_test.go' | grep -q .; then
+    echo "determinism lint: internal/workload sources missing from the sweep" >&2
+    exit 1
+fi
+
 if [ "$bad" -ne 0 ]; then
     echo "determinism lint: FAILED" >&2
     exit 1
