@@ -28,8 +28,12 @@ vet:
 lint:
 	./scripts/determinism_lint.sh
 
+# race also runs the shard-determinism suite (small tier) with the race
+# detector watching the sharded engine's worker pool — the only place in
+# the repo where simulation state crosses goroutines mid-run.
 race:
 	$(GO) test -race ./internal/...
+	$(GO) test -race -short -run 'TestShardDeterminism' -count=1 .
 
 test:
 	$(GO) test ./...

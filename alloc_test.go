@@ -10,6 +10,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -21,6 +22,48 @@ import (
 	"repro/internal/storage/chunker"
 	"repro/internal/workload"
 )
+
+// TestAllocBytesPerNode pins the per-node memory cost of constructing a
+// 10k-node network with the RPC layer attached — the footprint that
+// decides whether the huge tiers (100k and 1M nodes, see TestScaleHuge and
+// `feudalism scale`) fit in memory. Measured ≈0.9 kB/node on both engines;
+// the ceiling leaves ~60% headroom. At the ceiling, 1M nodes cost ≈1.5 GB
+// before any traffic, which is the budget EXPERIMENTS.md quotes.
+func TestAllocBytesPerNode(t *testing.T) {
+	const n = 10_000
+	const ceiling = 1536.0 // bytes per node, network + node + RPC layer
+	measure := func(build func() any) float64 {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		keep := build()
+		runtime.ReadMemStats(&after)
+		perNode := float64(after.TotalAlloc-before.TotalAlloc) / n
+		runtime.KeepAlive(keep)
+		return perNode
+	}
+	engines := map[string]func() any{
+		"single-heap": func() any {
+			nw := simnet.New(7)
+			for i := 0; i < n; i++ {
+				simnet.NewRPCNode(nw.AddNode())
+			}
+			return nw
+		},
+		"sharded": func() any {
+			nw := simnet.NewWithConfig(simnet.NetworkConfig{Seed: 7, Shards: 64})
+			for i := 0; i < n; i++ {
+				simnet.NewRPCNode(nw.AddNode())
+			}
+			return nw
+		},
+	}
+	for name, build := range engines {
+		if got := measure(build); got > ceiling {
+			t.Errorf("%s engine: %.0f B/node at construction, ceiling %.0f", name, got, ceiling)
+		}
+	}
+}
 
 // TestAllocSendZero pins the raw substrate Send+deliver cycle at zero
 // allocations per message in steady state.

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	benchdiff [-tol F] [-time-tol F] old.json new.json
+//	benchdiff -history [-tput-tol F] [-tol F] old.json new.json
 //
 // A metric regresses when |new-old| > tol*|old| (a metric that was zero
 // must stay exactly zero); a missing experiment or metric in the new file
@@ -13,12 +14,23 @@
 // is positive and both files carry a timing section, and only in the slow
 // direction. scripts/ci.sh runs this as the merge gate against the
 // checked-in BENCH_baseline.json.
+//
+// -history is the nightly throughput gate: both files must come from
+// `-timing` runs, and for every experiment present in both with timing it
+// derives msgs/sec (net.msg.delivered over wall seconds) and fails when
+// the new run's throughput drops more than -tput-tol below the old one
+// (one-sided: getting faster never fails). Metric snapshots are still
+// compared with -tol so a nightly that silently changed its workload is
+// caught too. scripts/ci.sh runs this against BENCH_PR3.json when
+// CI_NIGHTLY=1.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -26,8 +38,11 @@ import (
 func main() {
 	tol := flag.Float64("tol", 0, "relative tolerance per metric (0 = exact match)")
 	timeTol := flag.Float64("time-tol", 0, "relative wall-time slowdown tolerance (0 = ignore timing)")
+	history := flag.Bool("history", false, "throughput mode: derive msgs/sec from timing and gate one-sided regressions")
+	tputTol := flag.Float64("tput-tol", 0.25, "with -history: allowed relative msgs/sec drop before failing")
+	minWall := flag.Duration("min-wall", 100*time.Millisecond, "with -history: experiments faster than this in the old file are reported but not gated (scheduler noise dominates)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol F] [-time-tol F] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol F] [-time-tol F] [-history [-tput-tol F]] old.json new.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,6 +63,9 @@ func main() {
 	}
 
 	problems := obs.Compare(oldFile, newFile, obs.Tolerances{Metric: *tol, Time: *timeTol})
+	if *history {
+		problems = append(problems, compareThroughput(oldFile, newFile, *tputTol, *minWall)...)
+	}
 	if len(problems) == 0 {
 		fmt.Printf("benchdiff: OK (%d experiments, tol=%g time-tol=%g)\n",
 			len(newFile.Experiments), *tol, *timeTol)
@@ -59,4 +77,77 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) between %s and %s\n",
 		len(problems), flag.Arg(0), flag.Arg(1))
 	os.Exit(1)
+}
+
+// throughput derives an experiment's delivered msgs/sec from its metric
+// snapshot and timing section. Experiments that deliver no substrate
+// traffic (pure-analysis tables) or carry no timing report ok=false and
+// are skipped by the gate.
+func throughput(e obs.BenchExperiment) (float64, bool) {
+	if e.Timing == nil || e.Timing.WallNS <= 0 || e.Metrics == nil {
+		return 0, false
+	}
+	msgs, ok := e.Metrics.Counters["net.msg.delivered"]
+	if !ok || msgs <= 0 {
+		return 0, false
+	}
+	return float64(msgs) / (float64(e.Timing.WallNS) / 1e9), true
+}
+
+// compareThroughput is the -history gate: for every experiment with a
+// derivable msgs/sec in both files, the new run must stay within tol of
+// the old run's throughput in the slow direction. An experiment whose old
+// record has throughput but whose new record lost its timing section is a
+// regression too — the nightly stopped measuring. Experiments whose old
+// wall time is under minWall are printed but never gated: at sub-100ms
+// runtimes the ratio measures the host scheduler, not the code.
+func compareThroughput(old, new *obs.BenchFile, tol float64, minWall time.Duration) []obs.Problem {
+	newByID := map[string]obs.BenchExperiment{}
+	for _, e := range new.Experiments {
+		newByID[e.ID] = e
+	}
+	olds := append([]obs.BenchExperiment(nil), old.Experiments...)
+	sort.Slice(olds, func(i, j int) bool { return olds[i].ID < olds[j].ID })
+	var probs []obs.Problem
+	compared := 0
+	for _, oe := range olds {
+		oldTput, ok := throughput(oe)
+		if !ok {
+			continue
+		}
+		ne, found := newByID[oe.ID]
+		if !found {
+			continue // Compare already reported the missing experiment
+		}
+		newTput, ok := throughput(ne)
+		if !ok {
+			probs = append(probs, obs.Problem{
+				Experiment: oe.ID, Metric: "throughput.msgs_per_sec", Old: oldTput,
+				Detail: "new file has no timing/traffic to derive msgs/sec from (run bench with -timing)",
+			})
+			continue
+		}
+		gated := oe.Timing.WallNS >= int64(minWall)
+		note := ""
+		if !gated {
+			note = "  [under -min-wall, not gated]"
+		} else {
+			compared++
+		}
+		fmt.Printf("history %-24s msgs/sec old=%.0f new=%.0f (%+.1f%%)%s\n",
+			oe.ID, oldTput, newTput, (newTput/oldTput-1)*100, note)
+		if gated && newTput < oldTput*(1-tol) {
+			probs = append(probs, obs.Problem{
+				Experiment: oe.ID, Metric: "throughput.msgs_per_sec", Old: oldTput, New: newTput,
+				Detail: fmt.Sprintf("msgs/sec dropped beyond -%.0f%%", tol*100),
+			})
+		}
+	}
+	if compared == 0 {
+		probs = append(probs, obs.Problem{
+			Metric: "throughput.msgs_per_sec",
+			Detail: "no experiment pair had timing in both files; the history gate compared nothing",
+		})
+	}
+	return probs
 }

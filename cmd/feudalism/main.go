@@ -30,6 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -61,6 +64,10 @@ func main() {
 	cmd := os.Args[1]
 	if cmd == "bench" {
 		runBenchCmd(os.Args[2:])
+		return
+	}
+	if cmd == "scale" {
+		runScaleCmd(os.Args[2:])
 		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -169,6 +176,84 @@ func runBenchCmd(args []string) {
 	}
 }
 
+// runScaleCmd implements `feudalism scale`: the huge-tier (100k–1M node)
+// X15 sweep on the sharded engine. Each cell runs at every requested
+// worker count on the same seed; the runs must produce byte-identical
+// metric snapshots (the command fails otherwise), and the emitted bench
+// JSON records wall time and msgs/sec per worker count so CI can track the
+// throughput trajectory and the parallel speedup.
+func runScaleCmd(args []string) {
+	sfs := flag.NewFlagSet("scale", flag.ExitOnError)
+	sseed := sfs.Int64("seed", 42, "base simulation seed")
+	stiers := sfs.String("n", "100000", "comma-separated node populations (e.g. 100000,1000000)")
+	ssubs := sfs.String("subsystems", "simnet,dht,gossip", "comma-separated subsystems to sweep")
+	sshards := sfs.Int("shards", experiments.HugeShards, "shard count for the sharded engine")
+	sworkers := sfs.String("workers", "", "comma-separated worker counts (default \"1,<GOMAXPROCS>\")")
+	sout := sfs.String("json", "", "write the bench JSON artifact to this file")
+	sspeed := sfs.Float64("check-speedup", 0, "fail unless the max/min-worker msgs/sec ratio reaches this (0 disables)")
+	smincpu := sfs.Int("min-cpus", 4, "enforce -check-speedup only on hosts with at least this many CPUs")
+	_ = sfs.Parse(args)
+
+	opts := experiments.HugeOptions{
+		Seed:      *sseed,
+		Tiers:     parseIntList(*stiers, "n"),
+		Shards:    *sshards,
+		WallClock: func() int64 { return time.Now().UnixNano() },
+	}
+	if subs := strings.Split(*ssubs, ","); *ssubs != "" {
+		opts.Subsystems = subs
+	}
+	if *sworkers != "" {
+		opts.Workers = parseIntList(*sworkers, "workers")
+	}
+	cells, file, err := experiments.RunScaleHuge(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+		os.Exit(1)
+	}
+	for _, c := range cells {
+		fmt.Printf("%-28s shards=%-3d workers=%-3d conv=%.1f%% msgs=%d wall=%.2fs msgs/sec=%.0f\n",
+			c.ID(), c.Shards, c.Workers, c.Cell.Converged*100, c.Cell.Messages,
+			float64(c.Timing.WallNS)/1e9, c.MsgsPerSec)
+	}
+	for _, sub := range opts.Subsystems {
+		for _, n := range opts.Tiers {
+			if sp, ok := experiments.HugeSpeedup(cells, sub, n); ok {
+				fmt.Printf("%-28s speedup=%.2fx (byte-identical across worker counts)\n",
+					fmt.Sprintf("x15.huge.%s.n%d", sub, n), sp)
+				if *sspeed > 0 && runtime.NumCPU() >= *smincpu && sp < *sspeed {
+					fmt.Fprintf(os.Stderr, "scale: %s.n%d speedup %.2fx below required %.2fx\n", sub, n, sp, *sspeed)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+	if *sout != "" {
+		b, err := file.EncodeJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*sout, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func parseIntList(s, flagName string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "scale: -%s wants positive comma-separated integers, got %q\n", flagName, s)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: feudalism <command> [-seed N]
 
@@ -181,5 +266,7 @@ commands:
               -workload zipf|diurnal|flash to pick the schedule shape
   all         tables + every experiment
   list        list experiment ids
-  bench       run every experiment and emit machine-readable BENCH JSON`)
+  bench       run every experiment and emit machine-readable BENCH JSON
+  scale       run the huge-tier (100k-1M node) X15 sweep on the sharded
+              engine; -n 100000,1000000 -workers 1,8 -json out.json`)
 }

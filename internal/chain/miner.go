@@ -189,7 +189,7 @@ func (m *Miner) mineOne(parent cryptoutil.Hash) {
 		return
 	}
 	txs := m.pool.Select(st, m.chain.Config().MaxTxsPerBlock)
-	b, err := m.chain.NewBlock(parent, txs, m.node.Network().Now(), m.address)
+	b, err := m.chain.NewBlock(parent, txs, m.node.Now(), m.address)
 	if err != nil {
 		m.scheduleMine()
 		return

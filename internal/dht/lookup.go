@@ -29,7 +29,7 @@ func (p *Peer) lookup(target Key, wantValue bool, done func([]Contact, []byte, b
 		wantValue: wantValue,
 		queried:   map[Key]bool{},
 		failed:    map[Key]bool{},
-		span:      p.Node().Obs().StartSpan("dht.lookup.duration_s", p.Node().Network().Now()),
+		span:      p.Node().Obs().StartSpan("dht.lookup.duration_s", p.Node().Now()),
 		done:      done,
 	}
 	ls.merge(p.rt.closest(target, p.cfg.K))
@@ -145,7 +145,7 @@ func (ls *lookupState) finish(value []byte, found bool) {
 		return
 	}
 	ls.finished = true
-	ls.span.End(ls.p.Node().Network().Now())
+	ls.span.End(ls.p.Node().Now())
 	// Result: the K closest live contacts.
 	var out []Contact
 	for _, c := range ls.shortlist {

@@ -219,14 +219,14 @@ func (p *Peer) onStore(from simnet.NodeID, req any) (any, int) {
 	p.observe(r.From)
 	var exp time.Duration
 	if p.cfg.TTL > 0 {
-		exp = p.Node().Network().Now() + p.cfg.TTL
+		exp = p.Node().Now() + p.cfg.TTL
 	}
 	p.store[r.Key] = storedValue{data: r.Value, expiresAt: exp}
 	return true, 8
 }
 
 func (p *Peer) fresh(sv storedValue) bool {
-	return sv.expiresAt == 0 || p.Node().Network().Now() < sv.expiresAt
+	return sv.expiresAt == 0 || p.Node().Now() < sv.expiresAt
 }
 
 // Bootstrap joins the network through a seed contact: it inserts the seed
@@ -282,7 +282,7 @@ func (p *Peer) putOnce(key Key, value []byte, done func(stored int)) {
 func (p *Peer) storeLocal(key Key, value []byte) {
 	var exp time.Duration
 	if p.cfg.TTL > 0 {
-		exp = p.Node().Network().Now() + p.cfg.TTL
+		exp = p.Node().Now() + p.cfg.TTL
 	}
 	p.store[key] = storedValue{data: value, expiresAt: exp}
 }

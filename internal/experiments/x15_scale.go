@@ -60,13 +60,29 @@ type ScaleCell struct {
 // ScaleCellRun executes one cell of the sweep. Exported so the scale-test
 // matrix drives exactly the experiment's workloads.
 func ScaleCellRun(subsystem string, seed int64, n int) ScaleCell {
+	return scaleCellOn(subsystem, n, func() *simnet.Network { return simnet.New(seed) })
+}
+
+// ScaleCellRunSharded is ScaleCellRun on the sharded engine: the same
+// workloads on a network built with NetworkConfig{Shards, Workers}. The
+// huge tiers (ScaleHugeTiers) run through this path; results are identical
+// at every (Shards, Workers) setting but differ from the single-heap
+// engine's (substrate draws come from per-node streams there — see
+// simnet/shard.go), so sharded and unsharded cells are never compared.
+func ScaleCellRunSharded(subsystem string, seed int64, n, shards, workers int) ScaleCell {
+	return scaleCellOn(subsystem, n, func() *simnet.Network {
+		return simnet.NewWithConfig(simnet.NetworkConfig{Seed: seed, Shards: shards, Workers: workers})
+	})
+}
+
+func scaleCellOn(subsystem string, n int, mk func() *simnet.Network) ScaleCell {
 	switch subsystem {
 	case "simnet":
-		return timedCell(n, func() (float64, int64) { return scaleSimnet(seed, n) })
+		return timedCell(n, func() (float64, int64) { return scaleSimnet(mk(), n) })
 	case "dht":
-		return timedCell(n, func() (float64, int64) { return scaleDHT(seed, n) })
+		return timedCell(n, func() (float64, int64) { return scaleDHT(mk(), n) })
 	case "gossip":
-		return timedCell(n, func() (float64, int64) { return scaleGossip(seed, n) })
+		return timedCell(n, func() (float64, int64) { return scaleGossip(mk(), n) })
 	}
 	panic("x15: unknown subsystem " + subsystem)
 }
@@ -93,9 +109,8 @@ func timedCell(n int, run func() (float64, int64)) ScaleCell {
 // scaleSimnet exercises the raw RPC hot path: every node echoes a few
 // calls off its ring neighbour. Convergence is the fraction of calls that
 // complete; at any population the substrate should be lossless.
-func scaleSimnet(seed int64, n int) (float64, int64) {
+func scaleSimnet(nw *simnet.Network, n int) (float64, int64) {
 	const callsPerNode = 3
-	nw := simnet.New(seed)
 	rpcs := make([]*simnet.RPCNode, n)
 	for i := range rpcs {
 		rpcs[i] = simnet.NewRPCNode(nw.AddNode())
@@ -121,12 +136,11 @@ func scaleSimnet(seed int64, n int) (float64, int64) {
 // scaleDHT grows a Kademlia population to N, stores a key set, and probes
 // whether distant readers can still resolve every key. Small k keeps the
 // per-node state realistic for device-grade participants.
-func scaleDHT(seed int64, n int) (float64, int64) {
+func scaleDHT(nw *simnet.Network, n int) (float64, int64) {
 	const (
 		nKeys    = 12
 		nReaders = 24
 	)
-	nw := simnet.New(seed)
 	cfg := dht.Config{K: 8, Alpha: 3, RequestTimeout: 2 * time.Second}
 	peers := make([]*dht.Peer, n)
 	for i := range peers {
@@ -170,9 +184,8 @@ func scaleDHT(seed int64, n int) (float64, int64) {
 // scaleGossip floods items over a chord-style overlay (ring + power-of-two
 // long links, out-degree ≤ 8, so diameter stays O(log N)) with anti-entropy
 // repair, and measures the fraction of (member, item) pairs delivered.
-func scaleGossip(seed int64, n int) (float64, int64) {
+func scaleGossip(nw *simnet.Network, n int) (float64, int64) {
 	const nItems = 8
-	nw := simnet.New(seed)
 	members := make([]*gossip.Member, n)
 	ids := make([]simnet.NodeID, n)
 	for i := range members {

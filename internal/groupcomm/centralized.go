@@ -94,7 +94,7 @@ func (c *CentralClient) Node() *simnet.Node { return c.rpc.Node() }
 // Post publishes body into room. done reports acceptance (false on
 // moderation, timeout, or server failure).
 func (c *CentralClient) Post(room string, body []byte, done func(ok bool)) {
-	p := NewPost(room, c.user, body, c.rpc.Node().Network().Now())
+	p := NewPost(room, c.user, body, c.rpc.Node().Now())
 	c.rpc.Call(c.server, methodCentralPost, p, p.WireSize(), c.timeout, func(resp any, err error) {
 		ok, _ := resp.(bool)
 		done(err == nil && ok)

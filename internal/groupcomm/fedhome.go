@@ -220,7 +220,7 @@ func NewFedClient(node *simnet.Node, home simnet.NodeID, user UserID, timeout ti
 
 // Post publishes to the user's home instance.
 func (c *FedClient) Post(room string, body []byte, done func(ok bool)) {
-	p := NewPost(room, c.user, body, c.rpc.Node().Network().Now())
+	p := NewPost(room, c.user, body, c.rpc.Node().Now())
 	c.rpc.Call(c.home, methodFedPost, fedPostReq{Post: p}, p.WireSize(), c.timeout, func(resp any, err error) {
 		ok, _ := resp.(bool)
 		done(err == nil && ok)

@@ -121,7 +121,7 @@ func NewReplClientWith(node *simnet.Node, home simnet.NodeID, servers []simnet.N
 // server is down (accounts are not portable across homeservers — the
 // residual centralization in Matrix).
 func (c *ReplClient) Post(room string, body []byte, done func(ok bool)) {
-	p := NewPost(room, c.user, body, c.rpc.Node().Network().Now())
+	p := NewPost(room, c.user, body, c.rpc.Node().Now())
 	c.res.Call(c.home, methodReplPost, p, p.WireSize(), c.timeout, func(resp any, err error) {
 		ok, _ := resp.(bool)
 		done(err == nil && ok)

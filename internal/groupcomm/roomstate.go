@@ -238,7 +238,7 @@ func NewReplRoom(member *gossip.Member, room string) *ReplRoom {
 
 // Emit publishes an event into the replicated log.
 func (r *ReplRoom) Emit(typ string, sender UserID, mutate func(*RoomEvent)) RoomEvent {
-	ev := NewRoomEvent(r.room, typ, sender, mutate, r.member.Node().Network().Now())
+	ev := NewRoomEvent(r.room, typ, sender, mutate, r.member.Node().Now())
 	r.member.Publish(gossip.Item{ID: ev.ID, Data: ev, Size: ev.WireSize()})
 	return ev
 }

@@ -110,7 +110,7 @@ func (p *SocialPeer) NumFriends() int { return len(p.friends) }
 // Publish stores a post locally and pushes it to all friends (in sorted
 // order, so simulation runs stay deterministic despite map storage).
 func (p *SocialPeer) Publish(room string, body []byte) Post {
-	post := NewPost(room, p.user, body, p.node.Network().Now())
+	post := NewPost(room, p.user, body, p.node.Now())
 	p.accept(post)
 	for _, friend := range p.sortedFriends() {
 		p.node.Send(p.addrs[friend], msgSocialPost, socialPostMsg{From: p.user, Post: post}, post.WireSize()+32)
@@ -256,7 +256,7 @@ func (p *SocialPeer) onDM(msg simnet.Message) {
 	if err != nil {
 		return
 	}
-	p.inbox = append(p.inbox, NewPost("dm", m.From, pt, p.node.Network().Now()))
+	p.inbox = append(p.inbox, NewPost("dm", m.From, pt, p.node.Now()))
 }
 
 // Inbox returns decrypted direct messages received so far.

@@ -55,7 +55,7 @@ func (s *UsenetServer) Has(id cryptoutil.Hash) bool { _, ok := s.articles[id]; r
 // PostLocal accepts an article from a locally connected user and floods it
 // to every peer.
 func (s *UsenetServer) PostLocal(group string, author UserID, body []byte) Post {
-	p := NewPost(group, author, body, s.node.Network().Now())
+	p := NewPost(group, author, body, s.node.Now())
 	s.accept(p, -1)
 	return p
 }

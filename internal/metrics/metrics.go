@@ -228,6 +228,23 @@ func (h *Histogram) NumBuckets() int { return len(h.buckets) }
 // OutOfRange returns the underflow and overflow counts.
 func (h *Histogram) OutOfRange() (under, over int64) { return h.under, h.over }
 
+// Merge folds other's counts into h, bucket by bucket, as if h had seen
+// all of other's samples. Both histograms must have identical bounds and
+// bucket counts; merging is commutative and associative, which is what
+// lets simnet's sharded engine combine per-shard latency histograms in any
+// order. Panics on a bounds mismatch, which indicates a programming error.
+func (h *Histogram) Merge(other *Histogram) {
+	if h.lo != other.lo || h.hi != other.hi || len(h.buckets) != len(other.buckets) {
+		panic("metrics: Merge on histograms with different bounds")
+	}
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+	h.under += other.under
+	h.over += other.over
+	h.observed += other.observed
+}
+
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
 // interpolating linearly within the bucket that contains the target rank.
 // Underflow resolves to lo and overflow to hi (the histogram does not know

@@ -120,7 +120,7 @@ func (c *Client) Call(to simnet.NodeID, method string, req any, reqSize int, fal
 		return
 	}
 	node := c.rpc.Node()
-	if !c.cfg.Breaker.Disabled && !c.breaker(to).Allow(node.Network().Now()) {
+	if !c.cfg.Breaker.Disabled && !c.breaker(to).Allow(node.Now()) {
 		c.m.fastfail.Inc()
 		err := fmt.Errorf("resil: call %s to node %d refused: %w", method, to, ErrSuspected)
 		node.After(0, func() { done(nil, err) })
@@ -229,7 +229,7 @@ func (o *op) complete(isHedge bool, resp any, rtt time.Duration, err error) {
 		return
 	}
 	o.lastErr = err
-	now := c.rpc.Node().Network().Now()
+	now := c.rpc.Node().Now()
 	if !c.cfg.Breaker.Disabled && c.breaker(o.to).Failure(now) {
 		c.m.breakerOpen.Inc()
 	}

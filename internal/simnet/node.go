@@ -39,6 +39,24 @@ type Node struct {
 	crashes  int
 	downtime time.Duration
 	downAt   time.Duration
+
+	// Sharded-mode fields (nil/zero on the default single-heap engine).
+	// sh is the shard that executes this node's events; origin (id+1) and
+	// oseq form the deterministic event key; srng is the node's substrate
+	// randomness stream (loss/jitter/fault draws for messages it sends),
+	// which replaces the shared network stream so draw order tracks the
+	// node's own deterministic event order.
+	sh     *shard
+	origin uint64
+	oseq   uint64
+	srng   *rand.Rand
+}
+
+// nextOseq returns the node's next event sequence number — the per-origin
+// half of the sharded engine's (at, origin, oseq) ordering key.
+func (n *Node) nextOseq() uint64 {
+	n.oseq++
+	return n.oseq
 }
 
 // ID returns the node's identifier.
@@ -59,18 +77,49 @@ func (n *Node) Rand() *rand.Rand { return n.rng }
 // in-flight drops for messages addressed to it.
 func (n *Node) Trace() *Trace { return &n.trace }
 
-// Obs returns the network-wide observability registry. Protocol layers on
-// this node resolve their named metrics (e.g. "dht.lookup.hops") once at
-// construction and update them live; metrics are network-scoped, not
-// node-scoped, so per-node cardinality never explodes.
-func (n *Node) Obs() *obs.Registry { return n.nw.obs }
+// Obs returns the observability registry protocol layers on this node
+// should annotate. On the single-heap engine that is the network-wide
+// registry; on the sharded engine it is the node's shard-private registry
+// (safe to update from parallel windows), and exports merge all shard
+// registries order-independently — counters sum, so network-wide totals
+// come out identical either way.
+func (n *Node) Obs() *obs.Registry {
+	if n.sh != nil {
+		return n.sh.obs
+	}
+	return n.nw.obs
+}
+
+// Now returns the node's current virtual time: the shard clock in sharded
+// mode (shards advance independently inside a window), the global clock
+// otherwise. Protocol code on a node should prefer this over Network.Now.
+func (n *Node) Now() time.Duration {
+	if n.sh != nil {
+		return n.sh.now
+	}
+	return n.nw.now
+}
+
+// schedule queues an event for this node at absolute time at: on the
+// node's shard under its deterministic key in sharded mode, or on the
+// global heap otherwise (where it is byte-identical to the historical
+// Network.schedule path).
+func (n *Node) schedule(at time.Duration, fn func(), h EventFunc, arg any) *event {
+	if n.sh != nil {
+		return n.sh.schedule(at, n.origin, n.nextOseq(), fn, h, arg)
+	}
+	return n.nw.schedule(at, fn, h, arg)
+}
 
 // Profile returns the node's link profile.
 func (n *Node) Profile() LinkProfile { return n.profile }
 
 // SetProfile replaces the node's link profile (takes effect for messages
 // sent or received after the call).
-func (n *Node) SetProfile(p LinkProfile) { n.profile = p }
+func (n *Node) SetProfile(p LinkProfile) {
+	n.profile = p
+	n.nw.noteLatency(p.Latency)
+}
 
 // Up reports whether the node is currently alive.
 func (n *Node) Up() bool { return n.up }
@@ -107,11 +156,12 @@ func (n *Node) skewed(d time.Duration) time.Duration {
 // d/rate under clock skew. Protocol timers (republish intervals, gossip
 // rounds, audit epochs, RPC timeouts) must be scheduled through the node,
 // not the network, so fault plans can skew them.
-func (n *Node) After(d time.Duration, fn func()) { n.nw.After(n.skewed(d), fn) }
+func (n *Node) After(d time.Duration, fn func()) { n.schedule(n.Now()+n.skewed(d), fn, nil, nil) }
 
 // AfterTimer is After returning a cancellable Timer handle.
 func (n *Node) AfterTimer(d time.Duration, fn func()) Timer {
-	return n.nw.AfterTimer(n.skewed(d), fn)
+	e := n.schedule(n.Now()+n.skewed(d), fn, nil, nil)
+	return Timer{e: e, gen: e.gen}
 }
 
 // AfterCall is the closure-free variant of After: h runs with arg after d
@@ -119,7 +169,8 @@ func (n *Node) AfterTimer(d time.Duration, fn func()) Timer {
 // timeouts, periodic protocol rounds) should prefer this over After so
 // steady-state traffic does not allocate a capture per event.
 func (n *Node) AfterCall(d time.Duration, h EventFunc, arg any) Timer {
-	return n.nw.AfterCall(n.skewed(d), h, arg)
+	e := n.schedule(n.Now()+n.skewed(d), nil, h, arg)
+	return Timer{e: e, gen: e.gen}
 }
 
 // Handle registers a handler for messages of the given kind, replacing any
@@ -143,7 +194,7 @@ func (n *Node) Crash() {
 	}
 	n.up = false
 	n.crashes++
-	n.downAt = n.nw.now
+	n.downAt = n.Now()
 	for _, f := range n.onDown {
 		f()
 	}
@@ -157,7 +208,7 @@ func (n *Node) Restart() {
 		return
 	}
 	n.up = true
-	n.downtime += n.nw.now - n.downAt
+	n.downtime += n.Now() - n.downAt
 	for _, f := range n.onUp {
 		f()
 	}
@@ -179,13 +230,13 @@ func (n *Node) Downtime() time.Duration { return n.downtime }
 // Availability returns the fraction of elapsed virtual time the node has
 // been up, in [0, 1]. Returns 1 when no time has elapsed.
 func (n *Node) Availability() float64 {
-	elapsed := n.nw.now
+	elapsed := n.Now()
 	if elapsed == 0 {
 		return 1
 	}
 	down := n.downtime
 	if !n.up {
-		down += n.nw.now - n.downAt
+		down += elapsed - n.downAt
 	}
 	return 1 - float64(down)/float64(elapsed)
 }
@@ -209,28 +260,30 @@ func (c Churn) Apply(n *Node) {
 	if c.MTTF <= 0 {
 		return
 	}
-	nw := n.nw
 	var scheduleFail func()
 	var scheduleRepair func()
 	scheduleFail = func() {
 		d := expDraw(n, c.MTTF)
-		nw.After(d, func() {
+		// Scheduled through the node, not the network, so the renewal
+		// process runs on the node's shard in sharded mode (the draws
+		// already come from the node's own stream either way).
+		n.schedule(n.Now()+d, func() {
 			if !n.up {
 				return // already down (e.g. manual crash); wait for restart path
 			}
 			n.Crash()
 			scheduleRepair()
-		})
+		}, nil, nil)
 	}
 	scheduleRepair = func() {
 		d := expDraw(n, c.MTTR)
-		nw.After(d, func() {
+		n.schedule(n.Now()+d, func() {
 			if n.up {
 				return
 			}
 			n.Restart()
 			scheduleFail()
-		})
+		}, nil, nil)
 	}
 	scheduleFail()
 }

@@ -182,7 +182,7 @@ func NewRPCNode(n *Node) *RPCNode {
 			return
 		}
 		ids := make([]uint64, 0, len(r.pending))
-		for id := range r.pending {
+		for id := range r.pending { //determinism:ok drained in sorted call-id order below
 			ids = append(ids, id)
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -269,7 +269,7 @@ func (r *RPCNode) start(to NodeID, method string, req any, reqSize int, timeout 
 	pc := pendingPool.Get().(*pendingCall)
 	pc.r, pc.id, pc.method, pc.to, pc.wait = r, id, method, to, timeout
 	pc.done, pc.doneEx = done, doneEx
-	pc.sentAt = r.n.nw.Now()
+	pc.sentAt = r.n.Now()
 	pc.finished = false
 	r.pending[id] = pc
 	env := newEnvelope(r.n.nw)
@@ -296,7 +296,7 @@ func (r *RPCNode) onMessage(msg Message) {
 		pc.finish()
 		delete(r.pending, id)
 		done, doneEx := pc.done, pc.doneEx
-		rtt := r.n.nw.Now() - pc.sentAt
+		rtt := r.n.Now() - pc.sentAt
 		releasePending(pc)
 		if !served {
 			err := fmt.Errorf("simnet: node %d does not serve %s: %w", msg.From, method, ErrNotServed)

@@ -45,15 +45,28 @@ type Scheduler interface {
 
 // event is one scheduled occurrence. Events are pooled; gen disambiguates
 // successive uses of the same struct so stale Timer handles stay inert.
+//
+// An event lives in exactly one of two queue kinds: the single-heap
+// engine's queue (eng set, ordered by (at, seq)) or a shard's queue
+// (sh set, ordered by the shard-count-independent key (at, origin, oseq);
+// see shard.go). The fields for the unused kind stay zero.
 type event struct {
 	at  time.Duration
-	seq uint64 // tie-break: equal-time events run in schedule order
+	seq uint64 // single-heap tie-break: equal-time events run in schedule order
 	gen uint64 // bumped every time the event fires or is cancelled
 	pos int    // index in the heap, -1 when not queued
 	eng *engine
-	fn  func()    // closure path (convenience API)
-	h   EventFunc // handler+arg path (hot path)
-	arg any
+	// origin/oseq are the sharded engine's deterministic tie-break: the
+	// scheduling entity (node id + 1, or 0 for control events) and its
+	// private monotone sequence number. The pair is independent of the
+	// shard layout and worker count, which is what makes sharded execution
+	// reproducible across NetworkConfig{Shards, Workers} settings.
+	origin uint64
+	oseq   uint64
+	sh     *shard // owning shard queue, nil for single-heap events
+	fn     func() // closure path (convenience API)
+	h      EventFunc
+	arg    any
 }
 
 // engine is the concrete scheduler: virtual clock plus indexed event heap.
@@ -146,6 +159,11 @@ func (t Timer) Cancel() bool {
 	if !t.Active() {
 		return false
 	}
+	if sh := t.e.sh; sh != nil {
+		sh.remove(t.e)
+		sh.free(t.e)
+		return true
+	}
 	en := t.e.eng
 	en.remove(t.e)
 	en.free(t.e)
@@ -159,6 +177,18 @@ func (t Timer) Cancel() bool {
 func (t Timer) Reschedule(at time.Duration) bool {
 	if !t.Active() {
 		return false
+	}
+	if sh := t.e.sh; sh != nil {
+		// A shard timer's origin is always a node (deliveries never hand
+		// out Timer handles), so re-keying draws the node's next sequence
+		// number — exactly as if the owner had scheduled it afresh.
+		if at < sh.now {
+			at = sh.now
+		}
+		n := sh.nw.nodes[t.e.origin-1]
+		t.e.at, t.e.oseq = at, n.nextOseq()
+		sh.fix(t.e)
+		return true
 	}
 	en := t.e.eng
 	if at < en.now {

@@ -1,0 +1,286 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shardSnapshot serializes everything observable about a finished network:
+// end time, merged trace, per-kind latency histograms, and every node's
+// counters and liveness. Layout-invariance tests compare these byte for
+// byte.
+func shardSnapshot(nw *Network, end time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "end=%v trace=%+v\n", end, *nw.Trace())
+	for _, k := range nw.LatencyKinds() {
+		h := nw.LatencyHistogram(k)
+		fmt.Fprintf(&b, "lat[%s] n=%d p50=%.9f p95=%.9f\n", k, h.Count(), h.Quantile(0.5), h.Quantile(0.95))
+	}
+	for _, n := range nw.Nodes() {
+		fmt.Fprintf(&b, "node%d=%+v up=%v crashes=%d downtime=%v\n",
+			n.ID(), n.trace, n.Up(), n.Crashes(), n.Downtime())
+	}
+	return b.String()
+}
+
+// runShardWorkload drives a deliberately messy mixed workload — periodic
+// sends, RPC request/response, churn, fault injection, a mid-run partition
+// and heal scheduled as control events, plus timer cancellation — and
+// returns its snapshot. Every source of nondeterminism the sharded engine
+// must tame is in here.
+func runShardWorkload(cfg NetworkConfig, n int) string {
+	nw := NewWithConfig(cfg)
+	nw.SetDefaultProfile(HomeBroadbandProfile())
+	nw.SetLinkFault(LinkFault{Corrupt: 0.01, Duplicate: 0.02, Reorder: 0.05})
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = nw.AddNode()
+	}
+	for i, node := range nodes {
+		node.Handle("ping", func(m Message) {
+			if _, bad := m.Payload.(Corrupted); bad {
+				return
+			}
+			nodes[m.To].Send(m.From, "pong", nil, 120)
+		})
+		node.Handle("pong", func(m Message) {})
+		r := NewRPCNode(node)
+		if i%2 == 0 {
+			r.Serve("work", func(from NodeID, req any) (any, int) { return req, 64 })
+		}
+	}
+	// Periodic pings: each node pumps 12 rounds on its own timer chain.
+	var pump func(node *Node, k int)
+	pump = func(node *Node, k int) {
+		if k >= 12 {
+			return
+		}
+		to := NodeID((int(node.ID()) + k*7 + 1) % n)
+		if to != node.ID() {
+			node.Send(to, "ping", k, 300)
+		}
+		node.After(97*time.Millisecond, func() { pump(node, k+1) })
+	}
+	for _, node := range nodes {
+		node := node
+		node.After(time.Duration(int(node.ID())%17)*time.Millisecond, func() { pump(node, 0) })
+	}
+	// RPC traffic from odd nodes into even servers.
+	for i, node := range nodes {
+		if i%2 == 0 {
+			continue
+		}
+		r := node.rpc
+		target := NodeID((i + 1) % n)
+		var call func(k int)
+		call = func(k int) {
+			if k >= 8 {
+				return
+			}
+			r.Call(target, "work", k, 200, 400*time.Millisecond, func(resp any, err error) {})
+			r.n.After(150*time.Millisecond, func() { call(k + 1) })
+		}
+		call(0)
+	}
+	// Churn on every fifth node (draws come from the node's own stream).
+	for i, node := range nodes {
+		if i%5 == 0 {
+			Churn{MTTF: 900 * time.Millisecond, MTTR: 200 * time.Millisecond}.Apply(node)
+		}
+	}
+	// Timer cancel/reschedule exercise on each node.
+	for _, node := range nodes {
+		node := node
+		tm := node.AfterTimer(time.Second, func() { node.Send(NodeID(0), "ping", -1, 50) })
+		if int(node.ID())%3 == 0 {
+			node.After(600*time.Millisecond, func() { tm.Cancel() })
+		} else {
+			node.After(500*time.Millisecond, func() { tm.Reschedule(nw.Now() + 700*time.Millisecond) })
+		}
+	}
+	// Control events: a partition appears mid-run and heals later.
+	half := make([]NodeID, 0, n/2)
+	rest := make([]NodeID, 0, n-n/2)
+	for i := range nodes {
+		if i < n/2 {
+			half = append(half, NodeID(i))
+		} else {
+			rest = append(rest, NodeID(i))
+		}
+	}
+	nw.Schedule(500*time.Millisecond, func() { nw.Partition(half, rest) })
+	nw.Schedule(1100*time.Millisecond, func() { nw.Heal() })
+	end := nw.Run(3 * time.Second)
+	return shardSnapshot(nw, end)
+}
+
+// TestShardLayoutInvariance is the core determinism claim: the same seed
+// produces byte-identical results at every (Shards, Workers) combination.
+func TestShardLayoutInvariance(t *testing.T) {
+	layouts := []NetworkConfig{
+		{Seed: 7, Shards: 1, Workers: 1},
+		{Seed: 7, Shards: 2, Workers: 1},
+		{Seed: 7, Shards: 4, Workers: 1},
+		{Seed: 7, Shards: 4, Workers: 4},
+		{Seed: 7, Shards: 8, Workers: 3},
+		{Seed: 7, Shards: 16, Workers: 8},
+	}
+	want := runShardWorkload(layouts[0], 48)
+	for _, cfg := range layouts[1:] {
+		if got := runShardWorkload(cfg, 48); got != want {
+			t.Errorf("snapshot diverged at shards=%d workers=%d:\nbaseline:\n%s\ngot:\n%s",
+				cfg.Shards, cfg.Workers, want, got)
+		}
+	}
+}
+
+// TestShardedMatchesLegacyWhenDeterministic pins the sharded engine to the
+// single-heap engine on a workload with no randomness (no loss, jitter,
+// faults, or crashes) and no bandwidth queueing: there the two engines'
+// semantics coincide exactly, so snapshots must match byte for byte.
+func TestShardedMatchesLegacyWhenDeterministic(t *testing.T) {
+	run := func(cfg NetworkConfig) string {
+		nw := NewWithConfig(cfg)
+		nw.SetDefaultProfile(LinkProfile{Latency: 5 * time.Millisecond})
+		const n = 24
+		nodes := make([]*Node, n)
+		for i := range nodes {
+			nodes[i] = nw.AddNode()
+			nodes[i].HandleDefault(func(m Message) {})
+		}
+		for i := 0; i < 400; i++ {
+			from := nodes[i%n]
+			to := NodeID((i*7 + 3) % n)
+			if from.ID() != to {
+				from.Send(to, "x", i, 1000)
+			}
+		}
+		end := nw.Run(time.Second)
+		return shardSnapshot(nw, end)
+	}
+	legacy := run(NetworkConfig{Seed: 11})
+	for _, shards := range []int{1, 4, 16} {
+		if got := run(NetworkConfig{Seed: 11, Shards: shards, Workers: 2}); got != legacy {
+			t.Errorf("sharded (shards=%d) diverged from legacy on deterministic workload:\n%s\nvs\n%s",
+				shards, got, legacy)
+		}
+	}
+}
+
+func TestShardedRunUntilAndRunAll(t *testing.T) {
+	nw := NewWithConfig(NetworkConfig{Seed: 1, Shards: 4, Workers: 2})
+	nw.SetDefaultProfile(LinkProfile{Latency: 10 * time.Millisecond})
+	a := nw.AddNode()
+	b := nw.AddNode()
+	got := 0
+	b.Handle("x", func(m Message) { got++ })
+	a.After(100*time.Millisecond, func() { a.Send(b.ID(), "x", nil, 10) })
+	if end := nw.Run(50 * time.Millisecond); end != 50*time.Millisecond {
+		t.Fatalf("Run stopped at %v, want 50ms", end)
+	}
+	if got != 0 {
+		t.Fatalf("event beyond the horizon ran early")
+	}
+	if nw.Now() != 50*time.Millisecond {
+		t.Fatalf("clock at %v, want 50ms", nw.Now())
+	}
+	nw.RunAll()
+	if got != 1 {
+		t.Fatalf("pending event did not run under RunAll; got %d deliveries", got)
+	}
+	if nw.Now() < 120*time.Millisecond {
+		t.Fatalf("clock did not advance through delivery: %v", nw.Now())
+	}
+}
+
+func TestShardedTimerSemantics(t *testing.T) {
+	nw := NewWithConfig(NetworkConfig{Seed: 3, Shards: 2, Workers: 1})
+	nw.SetDefaultProfile(LinkProfile{Latency: time.Millisecond})
+	n := nw.AddNode()
+	fired := []string{}
+	tm := n.AfterTimer(20*time.Millisecond, func() { fired = append(fired, "cancelled") })
+	if !tm.Active() {
+		t.Fatal("fresh timer not active")
+	}
+	if !tm.Cancel() {
+		t.Fatal("cancel of pending timer failed")
+	}
+	if tm.Cancel() {
+		t.Fatal("double cancel succeeded")
+	}
+	tm2 := n.AfterTimer(20*time.Millisecond, func() { fired = append(fired, "moved") })
+	if !tm2.Reschedule(60 * time.Millisecond) {
+		t.Fatal("reschedule failed")
+	}
+	n.After(40*time.Millisecond, func() { fired = append(fired, "mid") })
+	nw.RunAll()
+	if len(fired) != 2 || fired[0] != "mid" || fired[1] != "moved" {
+		t.Fatalf("fired = %v, want [mid moved]", fired)
+	}
+	if tm2.Active() {
+		t.Fatal("fired timer still active")
+	}
+}
+
+func TestShardedRPCTimeoutOnCrashedServer(t *testing.T) {
+	nw := NewWithConfig(NetworkConfig{Seed: 5, Shards: 4, Workers: 2})
+	nw.SetDefaultProfile(LinkProfile{Latency: 2 * time.Millisecond})
+	a := nw.AddNode()
+	b := nw.AddNode()
+	ra := NewRPCNode(a)
+	rb := NewRPCNode(b)
+	rb.Serve("echo", func(from NodeID, req any) (any, int) { return req, 10 })
+	var okResp, timeouts int
+	ra.Call(b.ID(), "echo", "hi", 10, 100*time.Millisecond, func(resp any, err error) {
+		if err == nil && resp == "hi" {
+			okResp++
+		}
+	})
+	nw.RunAll()
+	b.Crash()
+	ra.Call(b.ID(), "echo", "again", 10, 100*time.Millisecond, func(resp any, err error) {
+		if err != nil {
+			timeouts++
+		}
+	})
+	nw.RunAll()
+	if okResp != 1 || timeouts != 1 {
+		t.Fatalf("okResp=%d timeouts=%d, want 1 and 1", okResp, timeouts)
+	}
+}
+
+func TestShardedZeroLatencyPanics(t *testing.T) {
+	nw := NewWithConfig(NetworkConfig{Seed: 1, Shards: 2, Workers: 1})
+	nw.SetDefaultProfile(LinkProfile{}) // zero latency: no conservative lookahead exists
+	nw.AddNode()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sharded Run with a zero-latency profile did not panic")
+		}
+	}()
+	nw.Run(time.Second)
+}
+
+func TestShardedAccessors(t *testing.T) {
+	legacy := New(1)
+	if legacy.Sharded() || legacy.NumShards() != 1 || legacy.Workers() != 1 {
+		t.Fatalf("legacy accessors: sharded=%v shards=%d workers=%d",
+			legacy.Sharded(), legacy.NumShards(), legacy.Workers())
+	}
+	sh := NewWithConfig(NetworkConfig{Seed: 1, Shards: 6, Workers: 2})
+	if !sh.Sharded() || sh.NumShards() != 6 || sh.Workers() != 2 {
+		t.Fatalf("sharded accessors: sharded=%v shards=%d workers=%d",
+			sh.Sharded(), sh.NumShards(), sh.Workers())
+	}
+	// Workers cap at the shard count.
+	capped := NewWithConfig(NetworkConfig{Seed: 1, Shards: 2, Workers: 64})
+	if capped.Workers() != 2 {
+		t.Fatalf("workers not capped at shards: %d", capped.Workers())
+	}
+	n := sh.AddNode()
+	if n.Obs() == sh.Obs() {
+		t.Fatal("sharded node should use its shard registry, not the root registry")
+	}
+}

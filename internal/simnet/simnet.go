@@ -37,6 +37,8 @@ package simnet
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -175,6 +177,22 @@ type Network struct {
 	// annotate it live (via Node.Obs) and the substrate mirrors its Trace
 	// and latency quantiles into it at snapshot time.
 	obs *obs.Registry
+
+	// Sharded-mode state (see shard.go); all nil/zero in the default
+	// single-heap mode, which keeps that path byte-identical to history.
+	shards  []*shard
+	workers int
+	// minLat tracks the smallest profile Latency ever attached to a node;
+	// it bounds the conservative lookahead (2·minLat) in sharded mode.
+	minLat    time.Duration
+	minLatSet bool
+	// winEnd/inWindow/jobMode are the window coordinator's state: written
+	// only between worker barriers, read by workers during a phase.
+	winEnd   time.Duration
+	inWindow bool
+	jobMode  int
+	jobs     chan int
+	jobsWG   sync.WaitGroup
 }
 
 var _ Scheduler = (*Network)(nil)
@@ -182,9 +200,34 @@ var _ Scheduler = (*Network)(nil)
 // New creates a network whose randomness derives entirely from seed.
 // Nodes added later default to DatacenterProfile.
 func New(seed int64) *Network {
+	return NewWithConfig(NetworkConfig{Seed: seed})
+}
+
+// NetworkConfig selects the engine layout. The zero value (plus a Seed) is
+// the classic single-heap engine; Shards >= 1 opts into the sharded engine
+// (shard.go), which partitions nodes across per-shard event heaps and runs
+// them on Workers parallel goroutines inside conservative virtual-time
+// windows. For a fixed Seed, sharded results are byte-identical at every
+// (Shards, Workers) setting — Shards: 1 uses the same sharded semantics on
+// a single heap, which is what makes it the honest baseline for the
+// determinism suite and for speedup measurements.
+type NetworkConfig struct {
+	Seed int64
+	// Shards partitions nodes (id mod Shards) across independent event
+	// heaps. 0 selects the default single-heap engine; >= 1 the sharded
+	// engine.
+	Shards int
+	// Workers is the parallel worker count for sharded execution; 0 means
+	// GOMAXPROCS, and it is capped at Shards. Ignored in single-heap mode.
+	Workers int
+}
+
+// NewWithConfig creates a network with an explicit engine layout; see
+// NetworkConfig.
+func NewWithConfig(cfg NetworkConfig) *Network {
 	nw := &Network{
-		seed:      seed,
-		rng:       networkRand(seed),
+		seed:      cfg.Seed,
+		rng:       networkRand(cfg.Seed),
 		defProf:   DatacenterProfile(),
 		partition: map[NodeID]int{},
 		latency:   map[string]*metrics.Histogram{},
@@ -193,10 +236,54 @@ func New(seed int64) *Network {
 	// The label orders registries during cross-trial merges; the publish
 	// hook keeps the per-message hot path free of registry work by copying
 	// Trace totals and latency quantiles in only when a snapshot is taken.
-	nw.obs.SetLabel(fmt.Sprintf("seed:%d", seed))
+	nw.obs.SetLabel(fmt.Sprintf("seed:%d", cfg.Seed))
 	nw.obs.OnPublish(nw.publishObs)
 	obs.AttachCurrent(nw.obs)
+	if cfg.Shards >= 1 {
+		w := cfg.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		if w > cfg.Shards {
+			w = cfg.Shards
+		}
+		nw.workers = w
+		nw.shards = make([]*shard, cfg.Shards)
+		for i := range nw.shards {
+			sh := &shard{
+				idx:     i,
+				nw:      nw,
+				outbox:  make([][]*event, cfg.Shards),
+				latency: map[string]*metrics.Histogram{},
+				obs:     obs.NewRegistry(),
+			}
+			// Shard labels sort after the root "seed:N" label, keeping
+			// merged exports stable regardless of shard count.
+			sh.obs.SetLabel(fmt.Sprintf("seed:%d/shard:%03d", cfg.Seed, i))
+			obs.AttachCurrent(sh.obs)
+			nw.shards[i] = sh
+		}
+	}
 	return nw
+}
+
+// Sharded reports whether the network runs on the sharded engine.
+func (nw *Network) Sharded() bool { return nw.shards != nil }
+
+// NumShards returns the shard count (1 in single-heap mode).
+func (nw *Network) NumShards() int {
+	if nw.shards == nil {
+		return 1
+	}
+	return len(nw.shards)
+}
+
+// Workers returns the sharded engine's worker count (1 in single-heap mode).
+func (nw *Network) Workers() int {
+	if nw.shards == nil {
+		return 1
+	}
+	return nw.workers
 }
 
 // Obs returns the network's observability registry. Protocol layers
@@ -207,7 +294,7 @@ func (nw *Network) Obs() *obs.Registry { return nw.obs }
 // publishObs mirrors the substrate's accumulated state into the registry.
 // Runs on every Registry.Snapshot, so Set (not Add) keeps it idempotent.
 func (nw *Network) publishObs(r *obs.Registry) {
-	t := &nw.trace
+	t := nw.Trace() // materializes the shard merge in sharded mode
 	r.Counter("net.msg.sent").Set(t.Sent)
 	r.Counter("net.msg.delivered").Set(t.Delivered)
 	r.Counter("net.msg.dropped").Set(t.Dropped)
@@ -226,11 +313,34 @@ func (nw *Network) publishObs(r *obs.Registry) {
 	}
 	r.Counter("net.node.crashes").Set(crashes)
 	r.Gauge("net.node.downtime_s").Set(downtime.Seconds())
-	for kind, h := range nw.latency {
+	// Map-iteration order is harmless here: each kind Sets independently
+	// named values, and the registry export sorts by name.
+	for kind, h := range nw.latencySnapshot() { //determinism:ok snapshot export, keys independent
 		r.Counter("net.latency." + kind + ".count").Set(h.Count())
 		r.Gauge("net.latency." + kind + ".p50_s").Set(h.Quantile(0.5))
 		r.Gauge("net.latency." + kind + ".p95_s").Set(h.Quantile(0.95))
 	}
+}
+
+// latencySnapshot returns the per-kind latency histograms, merging the
+// per-shard sets (bucket-by-bucket sums, so shard layout cannot leak into
+// the result) in sharded mode.
+func (nw *Network) latencySnapshot() map[string]*metrics.Histogram {
+	if nw.shards == nil {
+		return nw.latency
+	}
+	out := map[string]*metrics.Histogram{}
+	for _, sh := range nw.shards {
+		for kind, h := range sh.latency { //determinism:ok merge is commutative per kind
+			dst, ok := out[kind]
+			if !ok {
+				dst = metrics.NewHistogram(0, 30, 3000)
+				out[kind] = dst
+			}
+			dst.Merge(h)
+		}
+	}
+	return out
 }
 
 // SetDefaultProfile changes the link profile assigned to nodes added after
@@ -246,22 +356,64 @@ func (nw *Network) Rand() *rand.Rand { return nw.rng }
 // Seed returns the seed this network was created with.
 func (nw *Network) Seed() int64 { return nw.seed }
 
-// Trace returns the accumulated network-wide traffic counters.
-func (nw *Network) Trace() *Trace { return &nw.trace }
+// Trace returns the accumulated network-wide traffic counters. In sharded
+// mode the per-shard counters are re-summed on every call (field sums are
+// commutative, so the result is independent of shard layout); the returned
+// pointer stays valid and is refreshed by subsequent calls.
+func (nw *Network) Trace() *Trace {
+	if nw.shards != nil {
+		var t Trace
+		for _, sh := range nw.shards {
+			t.add(&sh.trace)
+		}
+		nw.trace = t
+	}
+	return &nw.trace
+}
 
 // LatencyHistogram returns the delivery-latency histogram (in seconds) for
 // a message kind, or nil if nothing of that kind has been delivered.
-// Buckets are 10 ms wide over [0, 30s).
+// Buckets are 10 ms wide over [0, 30s). In sharded mode the per-shard
+// histograms are merged into a fresh histogram on every call.
 func (nw *Network) LatencyHistogram(kind string) *metrics.Histogram {
+	if nw.shards != nil {
+		var merged *metrics.Histogram
+		for _, sh := range nw.shards {
+			if h := sh.latency[kind]; h != nil {
+				if merged == nil {
+					merged = metrics.NewHistogram(0, 30, 3000)
+				}
+				merged.Merge(h)
+			}
+		}
+		return merged
+	}
 	return nw.latency[kind]
 }
 
 // LatencyKinds returns the message kinds with recorded delivery latencies.
+// In sharded mode the union across shards is returned sorted, so the
+// result cannot depend on shard layout.
 func (nw *Network) LatencyKinds() []string {
+	if nw.shards != nil {
+		seen := map[string]bool{}
+		kinds := []string{}
+		for _, sh := range nw.shards {
+			for k := range sh.latency { //determinism:ok union is sorted below
+				if !seen[k] {
+					seen[k] = true
+					kinds = append(kinds, k)
+				}
+			}
+		}
+		sort.Strings(kinds)
+		return kinds
+	}
 	kinds := make([]string, 0, len(nw.latency))
-	for k := range nw.latency {
+	for k := range nw.latency { //determinism:ok result is sorted below
 		kinds = append(kinds, k)
 	}
+	sort.Strings(kinds)
 	return kinds
 }
 
@@ -283,8 +435,24 @@ func (nw *Network) AddNodeWithProfile(p LinkProfile) *Node {
 		up:       true,
 		handlers: map[string]Handler{},
 	}
+	nw.noteLatency(p.Latency)
+	if nw.shards != nil {
+		n.sh = nw.shards[int(id)%len(nw.shards)]
+		n.origin = uint64(id) + 1
+		n.srng = substrateRand(nw.seed, id)
+	}
 	nw.nodes = append(nw.nodes, n)
 	return n
+}
+
+// noteLatency records a profile latency for the sharded engine's lookahead
+// bound: the minimum over every profile ever attached is monotone
+// non-increasing, so tracking the min at attach time is safe even when
+// profiles change mid-run.
+func (nw *Network) noteLatency(l time.Duration) {
+	if !nw.minLatSet || l < nw.minLat {
+		nw.minLat, nw.minLatSet = l, true
+	}
 }
 
 // Node returns the node with the given id, or nil if out of range.
@@ -304,6 +472,9 @@ func (nw *Network) Nodes() []*Node { return nw.nodes }
 // Run executes events until the queue empties or virtual time reaches
 // until. It returns the virtual time at which it stopped.
 func (nw *Network) Run(until time.Duration) time.Duration {
+	if nw.shards != nil {
+		return nw.runSharded(until, false)
+	}
 	if nw.running {
 		panic("simnet: re-entrant Run")
 	}
@@ -329,6 +500,10 @@ func (nw *Network) Run(until time.Duration) time.Duration {
 // RunAll executes every queued event regardless of time. Useful for tests;
 // panics if the queue keeps growing beyond a large safety bound.
 func (nw *Network) RunAll() {
+	if nw.shards != nil {
+		nw.runSharded(runAllHorizon, true)
+		return
+	}
 	const maxEvents = 50_000_000
 	count := 0
 	for nw.step() {
@@ -383,7 +558,7 @@ func (nw *Network) SetRegionMatrix(region map[NodeID]int, extra [][]time.Duratio
 			panic("simnet: region matrix must be square")
 		}
 	}
-	for id, r := range region {
+	for id, r := range region { //determinism:ok validation only, no ordering effect
 		if r < 0 || r >= len(extra) {
 			panic(fmt.Sprintf("simnet: node %d assigned to region %d outside matrix [0, %d)", id, r, len(extra)))
 		}
@@ -474,6 +649,9 @@ func (nw *Network) observeLatency(kind string, lat time.Duration) {
 // sending node's Trace; Delivered/BytesDelivered/Unhandled and in-flight
 // drops to the receiving node's. The network-wide Trace sees everything.
 func (nw *Network) Send(msg Message) bool {
+	if nw.shards != nil {
+		return nw.sendSharded(msg)
+	}
 	src := nw.Node(msg.From)
 	dst := nw.Node(msg.To)
 	if src == nil || dst == nil {
@@ -595,3 +773,17 @@ func (t *Trace) DeliveryRate() float64 {
 
 // Reset zeroes all counters.
 func (t *Trace) Reset() { *t = Trace{} }
+
+// add accumulates o's counters into t (the shard-merge primitive; field
+// sums are commutative, so merge order never matters).
+func (t *Trace) add(o *Trace) {
+	t.Sent += o.Sent
+	t.Delivered += o.Delivered
+	t.Dropped += o.Dropped
+	t.Unhandled += o.Unhandled
+	t.BytesSent += o.BytesSent
+	t.BytesDelivered += o.BytesDelivered
+	t.Corrupted += o.Corrupted
+	t.Duplicated += o.Duplicated
+	t.Reordered += o.Reordered
+}

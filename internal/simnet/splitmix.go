@@ -74,3 +74,16 @@ func networkRand(seed int64) *rand.Rand {
 func nodeRand(seed int64, id NodeID) *rand.Rand {
 	return rand.New(NewSplitMix64(mix64(mix64(uint64(seed)) + (uint64(id)+1)*golden64)))
 }
+
+// substrateRand returns node id's *substrate* stream for the sharded
+// engine: loss, jitter, and fault draws for messages the node sends. The
+// single-heap engine serves those draws from the shared network stream in
+// global send order; under parallel shards there is no global order, so
+// each sender draws from a private stream whose consumption follows the
+// node's own deterministic event order. The salt (a second whitening pass
+// XORed with an arbitrary constant) keeps the stream disjoint from both
+// nodeRand and networkRand for the same seed and id.
+func substrateRand(seed int64, id NodeID) *rand.Rand {
+	base := mix64(mix64(uint64(seed))^0x5EEDFACE0FCAFE01) + (uint64(id)+1)*golden64
+	return rand.New(NewSplitMix64(mix64(base)))
+}

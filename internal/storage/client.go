@@ -520,10 +520,10 @@ func (c *Client) unpinHolders(id cryptoutil.Hash, holders []ProviderRef) {
 // re-places them. done receives how many chunk copies were restored.
 func (c *Client) Repair(m *Manifest, pl *Placement, pool []ProviderRef, done func(restored int, err error)) {
 	node := c.rpc.Node()
-	span := node.Obs().StartSpan("storage.repair.duration_s", node.Network().Now())
+	span := node.Obs().StartSpan("storage.repair.duration_s", node.Now())
 	inner := done
 	done = func(restored int, err error) {
-		span.End(node.Network().Now())
+		span.End(node.Now())
 		inner(restored, err)
 	}
 	switch m.Mode {

@@ -226,10 +226,10 @@ func (p *Peer) announce(site cryptoutil.Hash) {
 // error.
 func (p *Peer) Visit(site cryptoutil.Hash, done func(files map[string][]byte, err error)) {
 	node := p.rpc.Node()
-	span := node.Obs().StartSpan("webapp.visit.duration_s", node.Network().Now())
+	span := node.Obs().StartSpan("webapp.visit.duration_s", node.Now())
 	inner := done
 	done = func(files map[string][]byte, err error) {
-		span.End(node.Network().Now())
+		span.End(node.Now())
 		if err == nil {
 			p.obsVisitOK.Inc()
 		} else {

@@ -104,6 +104,44 @@ func TestScaleBig(t *testing.T) {
 	}
 }
 
+// hugeSelected reports whether the 100k sharded tier was explicitly
+// requested, via SCALE=huge or a -run selector naming the test.
+func hugeSelected() bool {
+	if os.Getenv("SCALE") == "huge" {
+		return true
+	}
+	f := flag.Lookup("test.run")
+	return f != nil && strings.Contains(f.Value.String(), "TestScaleHuge")
+}
+
+// TestScaleHuge is the 100,000-node tier on the sharded engine — the
+// merge-gate-optional rung of the huge sweep (the 1M rung is nightly-only
+// via `feudalism scale`). Expect roughly a minute of wall time on one
+// core; see EXPERIMENTS.md "Running at 1M".
+func TestScaleHuge(t *testing.T) {
+	if !hugeSelected() {
+		t.Skip("huge tier: set SCALE=huge or select with -run TestScaleHuge")
+	}
+	rows := []scaleRow{
+		{"simnet", "huge", 100_000, false, 42, 1.0},
+		{"dht", "huge", 100_000, false, 42, 0.85},
+		{"gossip", "huge", 100_000, false, 42, 0.99},
+	}
+	for _, row := range rows {
+		row := row
+		t.Run(row.subsystem+"/"+row.tier, func(t *testing.T) {
+			cell := experiments.ScaleCellRunSharded(row.subsystem, row.seed, row.n, experiments.HugeShards, 0)
+			if cell.Converged < row.minConv {
+				t.Errorf("%s at N=%d (sharded): converged %.1f%%, floor %.1f%%",
+					row.subsystem, row.n, cell.Converged*100, row.minConv*100)
+			}
+			if cell.Messages <= 0 {
+				t.Errorf("%s at N=%d (sharded): no traffic delivered", row.subsystem, row.n)
+			}
+		})
+	}
+}
+
 // scaleChain runs n miners with retargeting for the given horizon and
 // checks the chain-specific invariants: full head convergence, expected
 // height, difficulty raised by retargeting, and every miner productive.

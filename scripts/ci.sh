@@ -1,6 +1,7 @@
 #!/bin/sh
-# ci.sh — the merge gate. Runs the full `make ci` pipeline (fmt, build,
-# vet, determinism lint, race, tests, coverage floor, fuzz burst), then the
+# ci.sh — the merge gate, plus the nightly tier when asked. The default
+# run is the merge gate: the full `make ci` pipeline (fmt, build, vet,
+# determinism lint, race, tests, coverage floor, fuzz burst), then the
 # seeded bench regression gate: a fresh deterministic `feudalism bench`
 # run must match the checked-in BENCH_baseline.json exactly (tolerance 0 —
 # the simulation is seed-deterministic, so any metric drift is a real
@@ -8,6 +9,13 @@
 # and the committed BENCH_baseline.json / BENCH_PR3.json pair must agree.
 # .github/workflows/ci.yml runs exactly this script; run it locally before
 # pushing to see what CI will see.
+#
+# CI_SCALE=1 adds the 10k-node tier (make scale). CI_NIGHTLY=1 adds the
+# throughput history gate (a -timing bench diffed against BENCH_PR3.json
+# with benchdiff -history: msgs/sec regressions beyond 25% fail) and the
+# 100k-node sharded tier; nightly artifacts (the timing bench JSON and the
+# huge-tier scale JSON) land in $CI_ARTIFACTS (default ./ci-artifacts) so
+# the workflow can upload them.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -37,6 +45,32 @@ echo "bench gate: running deterministic bench (seed 42, full scale)"
 if [ "${CI_SCALE:-0}" = "1" ]; then
 	echo "scale gate: big tier + race on the small tier"
 	make scale
+fi
+
+# The nightly adds what the merge gate cannot afford: wall-time-aware
+# benches and the 100k-node sharded tier. Timing is machine-dependent, so
+# the history gate is one-sided (only slowdowns fail) with a 25% tolerance
+# and a wall-time floor that keeps sub-100ms experiments out of the gate.
+if [ "${CI_NIGHTLY:-0}" = "1" ]; then
+	art="${CI_ARTIFACTS:-ci-artifacts}"
+	mkdir -p "$art"
+
+	echo "nightly gate: timing bench vs BENCH_PR3.json (benchdiff -history)"
+	"$tmp/feudalism" bench -scale full -seed 42 -trials 1 -timing -json "$art/bench-timing.json"
+	"$tmp/benchdiff" -history BENCH_PR3.json "$art/bench-timing.json"
+
+	echo "nightly gate: 100k-node sharded tier (SCALE=huge)"
+	SCALE=huge go test -run TestScaleHuge -count=1 -timeout 1800s -v .
+
+	# The huge sweep re-runs every cell at 1 worker and GOMAXPROCS workers,
+	# fails unless the snapshots are byte-identical, and (on real multi-core
+	# runners) requires the parallel engine to actually pay for itself.
+	echo "nightly gate: huge-tier sweep with worker-count byte-identity + speedup"
+	"$tmp/feudalism" scale -n "${CI_HUGE_TIERS:-100000,1000000}" \
+		-check-speedup 1.5 -json "$art/scale-huge.json"
+
+	echo "nightly artifacts in $art:"
+	ls -l "$art"
 fi
 
 echo "ci.sh: all gates passed"

@@ -21,6 +21,57 @@ for f in $(find internal -name '*.go' ! -name '*_test.go' ! -path 'internal/simn
     fi
 done
 
+# --- sharded-engine rules -------------------------------------------------
+# internal/simnet owns event ordering, and the sharded engine runs it on
+# several goroutines at once, so two extra hazards apply inside the package
+# itself:
+#
+# 1) sync/atomic is banned in the engine. An atomic counter is exactly the
+#    shape of bug the shard design forbids: it makes a value depend on which
+#    worker got there first, which the byte-identity tests cannot always
+#    catch. All cross-shard accumulation must happen at window barriers
+#    (outbox drain, Trace.add, Histogram.Merge). trials.go is the one
+#    allowlisted file — it parallelises whole independent simulations and
+#    only uses an atomic to hand out trial indices, never inside a network.
+for f in $(find internal/simnet -name '*.go' ! -name '*_test.go' ! -name 'trials.go' | sort); do
+    if grep -nE '"sync/atomic"|\batomic\.[A-Z]' "$f"; then
+        echo "determinism lint: $f uses sync/atomic inside the simulation engine (accumulate at window barriers instead)" >&2
+        bad=1
+    fi
+done
+
+# 2) Map iteration is banned in the engine unless the line carries a
+#    //determinism:ok marker explaining why order cannot leak (result sorted,
+#    merge commutative, validation only). Go randomises map order per run,
+#    so an unmarked range over a map in a path feeding event ordering or
+#    exported snapshots silently breaks seed determinism. The check extracts
+#    every identifier declared as a map (field, param, or := literal/make),
+#    then flags `range` statements over any of those names. Names are scoped
+#    per file plus the struct fields of the package's two engine files, so a
+#    slice that happens to share a name with a map in another file does not
+#    false-positive.
+simnet_files=$(find internal/simnet -maxdepth 1 -name '*.go' ! -name '*_test.go' | sort)
+extract_mapnames() {
+    (grep -hoE '[A-Za-z_][A-Za-z0-9_]*[[:space:]]+map\[' "$@" | awk '{print $1}';
+     grep -hoE '[A-Za-z_][A-Za-z0-9_]*[[:space:]]*:?=[[:space:]]*(make\()?map\[' "$@" |
+         sed -E 's/[[:space:]]*:?=.*//') | sort -u
+}
+# Struct fields of the engine types are visible across files (nw.latency,
+# sh.latency), so those names are shared; locals declared with := stay
+# scoped to their own file.
+shared_mapnames=$(grep -hoE '[A-Za-z_][A-Za-z0-9_]*[[:space:]]+map\[' \
+    internal/simnet/simnet.go internal/simnet/shard.go | awk '{print $1}' | sort -u)
+for f in $simnet_files; do
+    names=$( (extract_mapnames "$f"; echo "$shared_mapnames") | sort -u)
+    for name in $names; do
+        [ -n "$name" ] || continue
+        if grep -nE "range ([A-Za-z0-9_.]+\.)?${name}($|[^A-Za-z0-9_(])" "$f" | grep -v 'determinism:ok'; then
+            echo "determinism lint: $f iterates map '$name' without a //determinism:ok marker (map order is randomised per run)" >&2
+            bad=1
+        fi
+    done
+done
+
 # The workload engine must stay inside the sweep: every generator draw has
 # to come off the seeded streams, or X18 schedules stop replaying.
 if ! find internal/workload -name '*.go' ! -name '*_test.go' | grep -q .; then
