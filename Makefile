@@ -50,12 +50,12 @@ test:
 # changed), rather than silently passing.
 cover:
 	@$(GO) test -cover ./internal/... | tee /tmp/feudalism-cover.txt
-	@awk '$$1 == "ok" && ($$2 == "repro/internal/simnet" || $$2 == "repro/internal/simnet/fault" || $$2 == "repro/internal/resil" || $$2 == "repro/internal/storage" || $$2 == "repro/internal/workload") { \
+	@awk '$$1 == "ok" && ($$2 == "repro/internal/simnet" || $$2 == "repro/internal/simnet/fault" || $$2 == "repro/internal/resil" || $$2 == "repro/internal/storage" || $$2 == "repro/internal/workload" || $$2 == "repro/internal/replic") { \
 		seen++; found = 0; \
 		for (i = 1; i <= NF; i++) if ($$i ~ /^[0-9.]+%/) { found = 1; pct = $$i; sub(/%.*/, "", pct); \
 			if (pct + 0 < 80) { printf "coverage gate: %s at %s%% (floor 80%%)\n", $$2, pct; fail = 1 } } \
 		if (!found) { printf "coverage gate: no parseable coverage percentage in: %s\n", $$0; fail = 1 } } \
-		END { if (seen != 5) { printf "coverage gate: expected 5 tracked packages in report, saw %d\n", seen; fail = 1 } exit fail }' /tmp/feudalism-cover.txt
+		END { if (seen != 6) { printf "coverage gate: expected 6 tracked packages in report, saw %d\n", seen; fail = 1 } exit fail }' /tmp/feudalism-cover.txt
 
 # fuzz discovers every Fuzz* target in packages that keep a seed corpus
 # under testdata/fuzz and runs each for a short burst — no hand-maintained

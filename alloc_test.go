@@ -17,6 +17,7 @@ import (
 	"repro/internal/cryptoutil"
 	"repro/internal/dht"
 	"repro/internal/gossip"
+	"repro/internal/replic"
 	"repro/internal/simnet"
 	"repro/internal/storage"
 	"repro/internal/storage/chunker"
@@ -277,6 +278,77 @@ func TestAllocFlashTickZero(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(1000, tick); avg != 0 {
 		t.Errorf("flash-crowd tick allocates %.2f/op, want 0", avg)
+	}
+	_ = sink
+}
+
+// TestAllocDemandObserveTickZero pins the adaptive-replication demand
+// tracker's hot path — one Observe per served request plus the periodic
+// Tick sweep — at exactly zero allocations in steady state. Entries are
+// allocated once on an object's first observation; after that, lazy decay
+// is pure float math and the Tick prune compacts slices in place. A
+// provider under a flash crowd calls Observe per request, so per-op
+// garbage here would dominate the X19 arms' allocation profile.
+func TestAllocDemandObserveTickZero(t *testing.T) {
+	const regions, objects = 4, 8
+	d := replic.NewDemand(30*time.Second, regions)
+	objs := make([]cryptoutil.Hash, objects)
+	now := time.Duration(0)
+	for i := range objs {
+		objs[i] = cryptoutil.SumHash([]byte(fmt.Sprintf("alloc-obj-%d", i)))
+		d.Observe(objs[i], i%regions, now) // allocate every entry up front
+	}
+	i := 0
+	op := func() {
+		now += 50 * time.Millisecond
+		d.Observe(objs[i%objects], i%regions, now)
+		if i%100 == 0 {
+			d.Tick(now)
+		}
+		i++
+	}
+	if avg := testing.AllocsPerRun(2000, op); avg != 0 {
+		t.Errorf("Demand.Observe+Tick allocates %.2f/op in steady state, want 0", avg)
+	}
+	if d.Len() != objects {
+		t.Fatalf("tracker pruned live entries: %d objects left, want %d", d.Len(), objects)
+	}
+}
+
+// TestAllocDemandAdvertSteadyState pins advert handling: after a
+// neighbor's first advertisement for an object (which inserts its entry),
+// every re-advertisement replaces the snapshot in place — the per-region
+// buffer is reused, so the steady-state budget is exactly zero. Holders
+// re-advertise every tick while hot, making this the second-hottest
+// replication path after Observe.
+func TestAllocDemandAdvertSteadyState(t *testing.T) {
+	const regions, holders = 4, 6
+	d := replic.NewDemand(30*time.Second, regions)
+	obj := cryptoutil.SumHash([]byte("alloc-advert-obj"))
+	breakdown := []float64{1.5, 0.5, 2.0, 0.25}
+	now := time.Duration(0)
+	for h := 1; h <= holders; h++ {
+		d.Advert(obj, simnet.NodeID(h), 2.0, breakdown, now) // first insert allocates
+	}
+	i := 0
+	op := func() {
+		now += 100 * time.Millisecond
+		d.Advert(obj, simnet.NodeID(1+i%holders), 2.0, breakdown, now)
+		i++
+	}
+	if avg := testing.AllocsPerRun(2000, op); avg != 0 {
+		t.Errorf("Demand.Advert replace path allocates %.2f/op, want 0", avg)
+	}
+	// The aggregation read side shares the budget: RegionRates fills a
+	// caller-owned buffer.
+	dst := make([]float64, regions)
+	sink := 0.0
+	read := func() {
+		d.RegionRates(obj, now, dst)
+		sink += dst[0] + d.SwarmRate(obj, now)
+	}
+	if avg := testing.AllocsPerRun(2000, read); avg != 0 {
+		t.Errorf("RegionRates+SwarmRate allocates %.2f/op, want 0", avg)
 	}
 	_ = sink
 }

@@ -178,6 +178,14 @@ func Registry() []Experiment {
 			},
 			Tiny: func(seed int64) fmt.Stringer { return WorkloadContentionTiny(seed) },
 		},
+		{
+			ID: "x19", Desc: "X19: flash-crowd replay, static-K vs adaptive popularity-driven replication with nearest-replica routing",
+			Run: func(seed int64) fmt.Stringer { return AdaptiveReplication(seed) },
+			Multi: func(seeds []int64, workers int) fmt.Stringer {
+				return AdaptiveReplicationMulti(seeds, workers)
+			},
+			Tiny: func(seed int64) fmt.Stringer { return AdaptiveReplicationTiny(seed) },
+		},
 	}
 }
 

@@ -154,8 +154,18 @@ func newX18Meter(nw *simnet.Network, sp x18Spec, n int) *x18Meter {
 // the returned func scores the response. Requests whose callback never
 // arrives stay unanswered and count against availability.
 func (m *x18Meter) done(at, launched time.Duration) func(okResp bool) {
+	return m.doneOn(at, launched, m.nw.Now)
+}
+
+// doneOn is done with an explicit completion clock. The network's global
+// clock is event-exact on the single-heap engine, but on the sharded
+// engine it only advances at window barriers while the response callback
+// runs on the requesting node's shard clock — so cross-engine arms (X19)
+// pass the requesting node's Now to keep measured latency identical on
+// both engines.
+func (m *x18Meter) doneOn(at, launched time.Duration, clock func() time.Duration) func(okResp bool) {
 	return func(okResp bool) {
-		l := m.nw.Now() - launched
+		l := clock() - launched
 		m.lat.Observe(l.Seconds())
 		hit := okResp && l <= m.sla
 		if hit {

@@ -1,0 +1,169 @@
+package replic
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/resil"
+	"repro/internal/simnet"
+)
+
+// ErrNoReplica is the terminal fetch failure: every candidate holder was
+// tried and none produced the object.
+var ErrNoReplica = errors.New("replic: no holder produced the object")
+
+// Client fetches objects by nearest-replica routing. Disabled it is the
+// static baseline: ask the directory for holders, then try them in
+// directory order (origin first) with the caller's fixed timeout — the
+// X18-style single-path fetch. Enabled it ranks the holder list with the
+// Router (measured SRTT first, region matrix as prior), fetches from the
+// nearest, hedges to the second-nearest after HedgeAfter, and fails over
+// down the ranking until a holder answers.
+type Client struct {
+	cfg    Config
+	rpc    *simnet.RPCNode
+	res    *resil.Client
+	dir    simnet.NodeID
+	router *Router
+	m      *replicMetrics
+}
+
+// NewClient wires a fetch client onto node. self is the client's home
+// region; regionOf and extra mirror the simnet region matrix (extra may be
+// nil for a flat geography).
+func NewClient(node *simnet.Node, cfg Config, dir simnet.NodeID, self int, regionOf map[simnet.NodeID]int, extra [][]time.Duration) *Client {
+	cfg = cfg.withDefaults()
+	c := &Client{cfg: cfg, rpc: simnet.NewRPCNode(node), dir: dir}
+	if cfg.Enabled {
+		c.res = resil.New(c.rpc, cfg.Resilience)
+		var srtt func(simnet.NodeID) (time.Duration, bool)
+		if c.res.Enabled() {
+			srtt = c.res.PeerSRTT
+		}
+		c.router = NewRouter(self, regionOf, extra, srtt)
+		c.m = metricsFor(node.Obs())
+	}
+	return c
+}
+
+// Node returns the client's simnet node.
+func (c *Client) Node() *simnet.Node { return c.rpc.Node() }
+
+// Router exposes the client's ranking policy (nil when disabled).
+func (c *Client) Router() *Router { return c.router }
+
+// Get fetches obj: resolve holders through the directory, then fetch per
+// the configured policy. timeout bounds each directory/fetch RPC (it is
+// the whole budget per attempt, not for the operation — failover makes
+// more attempts). done receives the payload or a terminal error.
+func (c *Client) Get(obj cryptoutil.Hash, timeout time.Duration, done func(data []byte, err error)) {
+	c.call(c.dir, methodHolders, obj, 40, timeout, func(resp any, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		hr, ok := resp.(holdersResp)
+		if !ok || len(hr.Holders) == 0 {
+			done(nil, ErrNoReplica)
+			return
+		}
+		// The directory builds a fresh holder slice per request, so ranking
+		// can permute it in place without copying.
+		holders := hr.Holders
+		if c.cfg.Enabled {
+			holders = c.router.Rank(holders)
+		}
+		f := &fetch{c: c, obj: obj, holders: holders, timeout: timeout, done: done}
+		f.launch(0)
+		if c.cfg.Enabled && len(holders) > 1 {
+			f.hedgeTimer = c.Node().AfterTimer(c.cfg.HedgeAfter, f.fireHedge)
+		}
+	})
+}
+
+// call routes through the resilience layer when attached.
+func (c *Client) call(to simnet.NodeID, method string, req any, size int, timeout time.Duration, done func(any, error)) {
+	if c.res != nil {
+		c.res.Call(to, method, req, size, timeout, done)
+		return
+	}
+	c.rpc.Call(to, method, req, size, timeout, done)
+}
+
+// fetch is one replica-fetch operation: sequential failover down the
+// ranked holder list, plus (enabled only) one hedge to the second-ranked
+// holder if the nearest has not answered within HedgeAfter. First
+// successful response wins; late losers are ignored.
+type fetch struct {
+	c       *Client
+	obj     cryptoutil.Hash
+	holders []simnet.NodeID
+	timeout time.Duration
+	done    func([]byte, error)
+
+	next       int // index of the next holder to try
+	inflight   int
+	finished   bool
+	hedged     bool
+	hedgeTimer simnet.Timer
+	lastErr    error
+}
+
+func (f *fetch) launch(i int) {
+	if i >= len(f.holders) {
+		return
+	}
+	f.next = i + 1
+	f.inflight++
+	f.c.call(f.holders[i], methodGet, f.obj, 40, f.timeout, func(resp any, err error) {
+		f.complete(i, resp, err)
+	})
+}
+
+// fireHedge launches the fetch to the next-ranked holder if the earlier
+// attempt is still unanswered. This is replica-level hedging — across
+// holders — distinct from (and composing with) the resilience layer's
+// same-peer hedge.
+func (f *fetch) fireHedge() {
+	if f.finished || f.hedged || f.next >= len(f.holders) {
+		return
+	}
+	f.hedged = true
+	f.c.m.hedgeFired.Inc()
+	f.launch(f.next)
+}
+
+func (f *fetch) complete(i int, resp any, err error) {
+	f.inflight--
+	if f.finished {
+		return
+	}
+	if err == nil {
+		if r, ok := resp.(getResp); ok && r.OK {
+			f.finish(i, r.Data, nil)
+			return
+		}
+		err = ErrNoReplica
+	}
+	f.lastErr = err
+	if f.next < len(f.holders) {
+		f.launch(f.next)
+		return
+	}
+	if f.inflight == 0 {
+		f.finish(i, nil, f.lastErr)
+	}
+}
+
+// finish completes exactly once. A win by the top-ranked holder counts as
+// a nearest-routing hit (only meaningful — and only counted — when the
+// layer is enabled and did the ranking).
+func (f *fetch) finish(winner int, data []byte, err error) {
+	f.finished = true
+	f.hedgeTimer.Cancel()
+	if err == nil && f.c.cfg.Enabled && winner == 0 {
+		f.c.m.nearestHit.Inc()
+	}
+	f.done(data, err)
+}

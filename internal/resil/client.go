@@ -101,6 +101,22 @@ func (c *Client) breaker(id simnet.NodeID) *Breaker {
 	return b
 }
 
+// PeerSRTT returns the smoothed round-trip estimate for a peer, and
+// whether one exists: false when the layer is disabled or the peer has
+// never contributed a sample (the cold-start Initial is a guess, not a
+// measurement, so it is not reported). Nearest-replica routing in
+// internal/replic ranks holders on exactly this.
+func (c *Client) PeerSRTT(id simnet.NodeID) (time.Duration, bool) {
+	if !c.cfg.Enabled {
+		return 0, false
+	}
+	e, ok := c.est[id]
+	if !ok || e.Samples() == 0 {
+		return 0, false
+	}
+	return e.SRTT(), true
+}
+
 // Call issues a resilient request to the target's method; the signature
 // mirrors RPCNode.Call so subsystems swap it in without restructuring.
 // done is invoked exactly once. fallback is the caller's legacy fixed

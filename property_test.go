@@ -18,6 +18,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/experiments"
 	"repro/internal/gossip"
+	"repro/internal/replic"
 	"repro/internal/resil"
 	"repro/internal/simnet"
 	"repro/internal/storage"
@@ -413,6 +414,164 @@ func TestQuickFlashRampHitsPeak(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(prop, quickCfg(183, 100)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReplicRateMergeCommutes: the decayed-rate counter's Merge is
+// commutative bit for bit whatever the observation streams, an arbitrary
+// split of one stream across two counters merges back to the combined
+// counter's value, and rebuilding from the same draws is bitwise
+// deterministic — the properties that let per-holder demand views
+// combine in any advert arrival order without double counting.
+func TestQuickReplicRateMergeCommutes(t *testing.T) {
+	prop := func(seed int64, rawN uint8, rawHL uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		halfLife := time.Duration(1+int(rawHL)%120) * time.Second
+		n := 2 + int(rawN)%60
+		a, b := replic.NewRate(halfLife), replic.NewRate(halfLife)
+		combined := replic.NewRate(halfLife)
+		now := time.Duration(0)
+		for i := 0; i < n; i++ {
+			now += time.Duration(rng.Int63n(int64(20 * time.Second)))
+			w := 0.1 + rng.Float64()*5
+			combined.AddAt(now, w)
+			if rng.Intn(2) == 0 {
+				a.AddAt(now, w)
+			} else {
+				b.AddAt(now, w)
+			}
+		}
+		ab, ba := replic.Merge(a, b), replic.Merge(b, a)
+		if ab != ba {
+			t.Logf("Merge not commutative: %v vs %v", ab, ba)
+			return false
+		}
+		// The merged split tracks the combined stream (exact in real
+		// arithmetic; FP regrouping leaves ~ulp-scale differences).
+		got, want := ab.Value(now), combined.Value(now)
+		if diff := math.Abs(got - want); diff > 1e-9*(1+math.Abs(want)) {
+			t.Logf("split+merge %.17g vs combined %.17g", got, want)
+			return false
+		}
+		// Determinism: replaying the same draws yields the same bits.
+		rng2 := rand.New(rand.NewSource(seed))
+		a2 := replic.NewRate(halfLife)
+		now2 := time.Duration(0)
+		for i := 0; i < n; i++ {
+			now2 += time.Duration(rng2.Int63n(int64(20 * time.Second)))
+			w := 0.1 + rng2.Float64()*5
+			if rng2.Intn(2) == 0 {
+				a2.AddAt(now2, w)
+			}
+		}
+		if now2 != now {
+			t.Logf("replay diverged: clock %v vs %v", now2, now)
+			return false
+		}
+		return a2.Value(now) == a.Value(now)
+	}
+	if err := quick.Check(prop, quickCfg(191, 200)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReplicTargetWithinBounds: whatever swarm rate the demand
+// tracker reports — including zero, negative garbage, NaN, and ±Inf —
+// the replica target stays within [FloorK, Cap].
+func TestQuickReplicTargetWithinBounds(t *testing.T) {
+	prop := func(rawFloor, rawSpan uint8, rate float64, special uint8) bool {
+		floor := 1 + int(rawFloor)%6
+		cap := floor + int(rawSpan)%8
+		switch special % 5 {
+		case 1:
+			rate = math.NaN()
+		case 2:
+			rate = math.Inf(1)
+		case 3:
+			rate = math.Inf(-1)
+		case 4:
+			rate = -rate
+		}
+		cfg := replic.Config{Enabled: true, FloorK: floor, Cap: cap}
+		got := cfg.TargetReplicas(rate)
+		if got < floor || got > cap {
+			t.Logf("TargetReplicas(%v) = %d outside [%d, %d]", rate, got, floor, cap)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(193, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReplicRankTotalOrder: nearest-replica ranking is a total
+// order — any permutation of the same holder set ranks to the identical
+// sequence, estimates are non-decreasing along the ranked order with node
+// id breaking ties, and with no SRTT measurements the order is exactly
+// the region-matrix one-way delays' order.
+func TestQuickReplicRankTotalOrder(t *testing.T) {
+	prop := func(seed int64, rawN, rawR uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(rawN)%12
+		regions := 1 + int(rawR)%4
+		extra := make([][]time.Duration, regions)
+		for i := range extra {
+			extra[i] = make([]time.Duration, regions)
+			for j := range extra[i] {
+				if i != j {
+					extra[i][j] = time.Duration(1+rng.Int63n(200)) * time.Millisecond
+				}
+			}
+		}
+		regionOf := map[simnet.NodeID]int{}
+		holders := make([]simnet.NodeID, n)
+		srtt := map[simnet.NodeID]time.Duration{}
+		for i := range holders {
+			id := simnet.NodeID(i + 1)
+			holders[i] = id
+			regionOf[id] = rng.Intn(regions)
+			if rng.Intn(2) == 0 {
+				srtt[id] = time.Duration(1+rng.Int63n(500)) * time.Millisecond
+			}
+		}
+		measured := func(id simnet.NodeID) (time.Duration, bool) {
+			d, ok := srtt[id]
+			return d, ok
+		}
+		r := replic.NewRouter(rng.Intn(regions), regionOf, extra, measured)
+		want := r.Rank(append([]simnet.NodeID(nil), holders...))
+		for trial := 0; trial < 4; trial++ {
+			perm := append([]simnet.NodeID(nil), holders...)
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			got := r.Rank(perm)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Logf("permutation ranked %v, want %v", got, want)
+					return false
+				}
+			}
+		}
+		for i := 1; i < len(want); i++ {
+			a, b := r.Estimate(want[i-1]), r.Estimate(want[i])
+			if a > b || (a == b && want[i-1] > want[i]) {
+				t.Logf("rank not ordered at %d: %v(%v) before %v(%v)", i, want[i-1], a, want[i], b)
+				return false
+			}
+		}
+		// Matrix-consistency: with no measurements at all the order is the
+		// one-way delay order.
+		noMeas := replic.NewRouter(0, regionOf, extra, func(simnet.NodeID) (time.Duration, bool) { return 0, false })
+		ranked := noMeas.Rank(append([]simnet.NodeID(nil), holders...))
+		for i := 1; i < len(ranked); i++ {
+			if noMeas.Estimate(ranked[i-1]) > noMeas.Estimate(ranked[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(197, 150)); err != nil {
 		t.Error(err)
 	}
 }

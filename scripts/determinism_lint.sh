@@ -79,6 +79,14 @@ if ! find internal/workload -name '*.go' ! -name '*_test.go' | grep -q .; then
     exit 1
 fi
 
+# The replication layer's whole contract is determinism — demand decay as
+# a pure function of observation times, no randomness, sorted fan-out —
+# so it must stay inside the sweep too, or X19 stops replaying.
+if ! find internal/replic -name '*.go' ! -name '*_test.go' | grep -q .; then
+    echo "determinism lint: internal/replic sources missing from the sweep" >&2
+    exit 1
+fi
+
 if [ "$bad" -ne 0 ]; then
     echo "determinism lint: FAILED" >&2
     exit 1
