@@ -17,6 +17,7 @@ import (
 	"repro/internal/cryptoutil"
 	"repro/internal/dht"
 	"repro/internal/gossip"
+	"repro/internal/overload"
 	"repro/internal/replic"
 	"repro/internal/simnet"
 	"repro/internal/storage"
@@ -351,4 +352,41 @@ func TestAllocDemandAdvertSteadyState(t *testing.T) {
 		t.Errorf("RegionRates+SwarmRate allocates %.2f/op, want 0", avg)
 	}
 	_ = sink
+}
+
+// TestAllocAdmitZero pins the overload layer's steady-state cost at
+// exactly zero allocations on top of the plain RPC path: the deferred
+// ReplyToken is a value, the admission decision touches only pooled
+// state, the service-done completion is a closure-free AfterCall event,
+// and shed replies (not exercised here — the queue stays empty) are
+// pre-boxed. Measured as a delta against an identical unprotected
+// endpoint in the same network, so envelope-pool and caller-side costs
+// cancel out.
+func TestAllocAdmitZero(t *testing.T) {
+	nw := simnet.New(9)
+	a := simnet.NewRPCNode(nw.AddNode())
+	plain := simnet.NewRPCNode(nw.AddNode())
+	prot := simnet.NewRPCNode(nw.AddNode())
+	echo := func(from simnet.NodeID, req any) (any, int) { return req, 8 }
+	plain.Serve("alloc.echo", echo)
+	ov := overload.New(prot, overload.Config{Enabled: true})
+	ov.Protect("alloc.echo", echo)
+	var payload any = struct{}{}
+	done := func(any, error) {}
+	callTo := func(id simnet.NodeID) func() {
+		return func() {
+			a.Call(id, "alloc.echo", payload, 16, 5*time.Second, done)
+			nw.RunAll()
+		}
+	}
+	cPlain, cProt := callTo(plain.Node().ID()), callTo(prot.Node().ID())
+	for i := 0; i < 100; i++ {
+		cPlain()
+		cProt()
+	}
+	base := testing.AllocsPerRun(200, cPlain)
+	got := testing.AllocsPerRun(200, cProt)
+	if got > base {
+		t.Errorf("admit/complete adds %.2f allocs/op over the plain RPC path (%.2f vs %.2f), want 0", got-base, got, base)
+	}
 }

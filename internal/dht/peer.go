@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cryptoutil"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/resil"
 	"repro/internal/simnet"
 )
@@ -23,6 +24,11 @@ type Config struct {
 	// RPC (lookup queries, stores, refresh pings). The zero value keeps
 	// the historical fixed-RequestTimeout behaviour.
 	Resilience resil.Config
+	// Overload, when enabled, puts the value-carrying server paths
+	// (find_value, find_node, store) behind server-side overload control
+	// while pings ride the priority control lane — liveness probing keeps
+	// working on a saturated peer. The zero value is a pure passthrough.
+	Overload overload.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -134,10 +140,13 @@ func NewPeer(node *simnet.Node, id Key, cfg Config) *Peer {
 	}
 	p.res = resil.New(p.rpc, p.cfg.Resilience)
 	p.rt = newRoutingTable(id, p.cfg.K)
-	p.rpc.Serve(methodPing, p.onPing)
-	p.rpc.Serve(methodFindNode, p.onFindNode)
-	p.rpc.Serve(methodFindValue, p.onFindValue)
-	p.rpc.Serve(methodStore, p.onStore)
+	// Pings are pure liveness control — they must keep answering while the
+	// lookup paths queue, or a merely-busy peer gets evicted as dead.
+	ov := overload.New(p.rpc, p.cfg.Overload)
+	ov.Control(methodPing, p.onPing)
+	ov.Protect(methodFindNode, p.onFindNode)
+	ov.Protect(methodFindValue, p.onFindValue)
+	ov.Protect(methodStore, p.onStore)
 	if p.cfg.RepublishInterval > 0 {
 		p.scheduleRepublish()
 	}

@@ -237,3 +237,111 @@ func TestX19AnchorExemptLikeX18Tracker(t *testing.T) {
 		})
 	}
 }
+
+// TestX20ProtectedArmsUnderFaults drives both overload-protected X20
+// arms — the feudal origin and the replic swarm, under the full
+// flash-crowd schedule — through the canonical five-scenario battery
+// plus the sustained-churn stressor. The point being pinned: overload
+// control composes with every fault the battery throws. Shedding under
+// saturation must not make crashes, loss, partitions, or corruption
+// worse — the breaker-neutral shed classification means a client that
+// sees sheds from a live server and timeouts from a dead one still
+// fails over correctly — so each scenario keeps a mid-fault
+// availability floor and recovers to near-clean rates after healing.
+//
+// Floors carry margin below the measured values (seed 42 tiny scale:
+// feudal mid-fault 42–55% by scenario, replic 57–86%, post-heal ≥ 87%
+// everywhere) so they gate regressions, not noise; the runs are fully
+// deterministic. Flash-partition is the known exception on the replic
+// arm (measured ≈1%: the rendezvous directory is unreachable during
+// the spike, X19's documented single-point window), so only recovery is
+// gated there.
+func TestX20ProtectedArmsUnderFaults(t *testing.T) {
+	const seed = 42
+	sp := x20SpecFor(true)
+	reqs, rs := x18Stream(seed, sp.x18Spec, "flash")
+	recPoint := fault.RecoveryPoint(sp.horizon)
+	type floors struct{ mid, post float64 }
+	arms := []struct {
+		name string
+		run  func(sc *fault.Scenario) x20Result
+		want map[string]floors
+	}{
+		{
+			name: "feudal-ovld",
+			run: func(sc *fault.Scenario) x20Result {
+				return x20Feudal(seed, sp, true, reqs, rs, sc, simnet.NetworkConfig{}, false)
+			},
+			want: map[string]floors{
+				"clean":           {0, 90},
+				"lossy-edge":      {35, 90},
+				"flash-partition": {25, 90},
+				"rolling-churn":   {25, 90},
+				"corrupt-10pct":   {25, 90},
+				"sustained-churn": {40, 70},
+			},
+		},
+		{
+			name: "replic-ovld",
+			run: func(sc *fault.Scenario) x20Result {
+				return x20Replic(seed, sp, true, reqs, rs, sc, simnet.NetworkConfig{}, false)
+			},
+			want: map[string]floors{
+				"clean":           {0, 90},
+				"lossy-edge":      {70, 90},
+				"flash-partition": {0, 90}, // no mid floor: the rendezvous itself is cut
+				"rolling-churn":   {40, 90},
+				"corrupt-10pct":   {70, 90},
+				"sustained-churn": {55, 75},
+			},
+		},
+	}
+	for _, arm := range arms {
+		arm := arm
+		t.Run(arm.name, func(t *testing.T) {
+			for _, sc := range append(fault.Scenarios(), fault.SustainedChurn()) {
+				sc := sc
+				t.Run(sc.Name, func(t *testing.T) {
+					res := arm.run(&sc)
+					if len(res.outcomes) == 0 {
+						t.Fatal("arm setup failed")
+					}
+					plan := sc.Build(seed, []simnet.NodeID{1, 2, 3, 4}, sp.horizon)
+					ws, we := plan.Start(), plan.End()
+					share := func(from, to time.Duration) (float64, int) {
+						var total, ok float64
+						for _, o := range res.outcomes {
+							if o.at >= from && o.at < to {
+								total++
+								if o.ok {
+									ok++
+								}
+							}
+						}
+						if total == 0 {
+							return 0, 0
+						}
+						return 100 * ok / total, int(total)
+					}
+					f := arm.want[sc.Name]
+					if we > ws && f.mid > 0 {
+						mid, n := share(ws, we)
+						if mid < f.mid {
+							t.Errorf("mid-fault availability %.1f%% over %d requests, floor %.0f%%", mid, n, f.mid)
+						}
+					}
+					post, n := share(recPoint, sp.horizon)
+					if post < f.post {
+						t.Errorf("post-heal availability %.1f%% over %d requests, floor %.0f%%", post, n, f.post)
+					}
+					// The flash saturates the protected servers in every
+					// scenario that lets flash traffic reach them, so
+					// admission control must actually have engaged.
+					if sc.Name != "flash-partition" && res.cell.shed == 0 {
+						t.Error("no server-side sheds recorded — overload control never engaged under the flash")
+					}
+				})
+			}
+		})
+	}
+}

@@ -186,6 +186,14 @@ func Registry() []Experiment {
 			},
 			Tiny: func(seed int64) fmt.Stringer { return AdaptiveReplicationTiny(seed) },
 		},
+		{
+			ID: "x20", Desc: "X20: flash-crowd saturation, naive vs overload-controlled serving on feudal origin and replic swarm",
+			Run: func(seed int64) fmt.Stringer { return OverloadControl(seed) },
+			Multi: func(seeds []int64, workers int) fmt.Stringer {
+				return OverloadControlMulti(seeds, workers)
+			},
+			Tiny: func(seed int64) fmt.Stringer { return OverloadControlTiny(seed) },
+		},
 	}
 }
 

@@ -2,6 +2,7 @@ package replic
 
 import (
 	"repro/internal/cryptoutil"
+	"repro/internal/overload"
 	"repro/internal/simnet"
 )
 
@@ -89,6 +90,16 @@ type Directory struct {
 // NewDirectory starts a directory on node, enforcing the given replica
 // floor on releases.
 func NewDirectory(node *simnet.Node, floorK int) *Directory {
+	return NewDirectoryWith(node, floorK, overload.Config{})
+}
+
+// NewDirectoryWith is NewDirectory plus server-side overload control.
+// Every directory endpoint is control-plane — announce/release/holders
+// keep the replica map honest — so all three ride the priority lane and
+// none sit behind the bulk queue; the overload layer's contribution here
+// is admission bounding and the control-lane uplink stamp. A zero ocfg
+// is a pure passthrough (byte-identical to NewDirectory).
+func NewDirectoryWith(node *simnet.Node, floorK int, ocfg overload.Config) *Directory {
 	if floorK < 1 {
 		floorK = 1
 	}
@@ -98,9 +109,10 @@ func NewDirectory(node *simnet.Node, floorK int) *Directory {
 		holders:  map[cryptoutil.Hash][]holderEntry{},
 		released: map[cryptoutil.Hash]map[simnet.NodeID]uint64{},
 	}
-	d.rpc.Serve(methodAnnounce, d.onAnnounce)
-	d.rpc.Serve(methodRelease, d.onRelease)
-	d.rpc.Serve(methodHolders, d.onHolders)
+	ov := overload.New(d.rpc, ocfg)
+	ov.Control(methodAnnounce, d.onAnnounce)
+	ov.Control(methodRelease, d.onRelease)
+	ov.Control(methodHolders, d.onHolders)
 	return d
 }
 

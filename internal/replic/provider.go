@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/overload"
 	"repro/internal/resil"
 	"repro/internal/simnet"
 )
@@ -98,9 +99,19 @@ func NewProvider(node *simnet.Node, cfg Config, dir simnet.NodeID, regions int, 
 		p.res = resil.New(p.rpc, cfg.Resilience)
 		p.m = metricsFor(node.Obs())
 	}
-	p.rpc.Serve(methodGet, p.onGet)
-	p.rpc.Serve(methodAdvert, p.onAdvert)
+	// Overload control guards the blob-serving path; adverts are control
+	// plane (they keep demand estimates flowing during saturation — the
+	// whole point of the priority lane); pushes stay plain: they are bulk
+	// provider-to-provider transfers already gated by the pushing map.
+	// Outbound control calls get the lane stamp so a saturated provider's
+	// own announces/releases overtake its queued get replies.
+	ov := overload.New(p.rpc, cfg.Overload)
+	ov.Protect(methodGet, p.onGet)
+	ov.Control(methodAdvert, p.onAdvert)
 	p.rpc.Serve(methodPush, p.onPush)
+	ov.MarkControl(methodAnnounce)
+	ov.MarkControl(methodRelease)
+	ov.MarkControl(methodHolders)
 	// After an outage the directory may have handed out stale holder lists
 	// or missed this node entirely (it never unregisters holders on crash —
 	// replicas survive restarts, like webapp peers' blobs). Re-announcing
@@ -115,6 +126,10 @@ func (p *Provider) Node() *simnet.Node { return p.rpc.Node() }
 // Resil returns the provider's resilience client (nil when the layer is
 // disabled).
 func (p *Provider) Resil() *resil.Client { return p.res }
+
+// RPC returns the provider's RPC endpoint. Experiments use it to attach
+// probe endpoints (X20's control-plane pinger) on the provider's node.
+func (p *Provider) RPC() *simnet.RPCNode { return p.rpc }
 
 // Holds reports whether the provider currently stores obj.
 func (p *Provider) Holds(obj cryptoutil.Hash) bool { _, ok := p.store[obj]; return ok }

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/resil"
 )
 
@@ -86,6 +87,11 @@ type Config struct {
 	// control traffic on the adaptive transport; its per-peer SRTT
 	// estimates then drive nearest-replica ranking.
 	Resilience resil.Config
+	// Overload, when enabled, puts the directory's control endpoints and
+	// each provider's replic.get behind server-side overload control
+	// (bounded queue, adaptive admission, priority control lane) — see
+	// internal/overload. The zero value is a pure passthrough.
+	Overload overload.Config
 }
 
 // Defaults returns the enabled configuration used by X19's adaptive arm.

@@ -29,7 +29,11 @@ type Client struct {
 	// reality instead of the cold-start Initial.
 	global *Estimator
 	m      *resilMetrics
-	seq    uint64 // per-client operation counter, keys backoff jitter
+	// mShed counts classified sheds. Created lazily on the first shed —
+	// not in the eager Memo bundle — so runs that never see a shed (every
+	// pre-X20 golden) keep their exported metric set unchanged.
+	mShed *obs.Counter
+	seq   uint64 // per-client operation counter, keys backoff jitter
 }
 
 // resilMetrics is the package's network-scoped metric bundle, resolved
@@ -225,6 +229,12 @@ func (o *op) complete(isHedge bool, resp any, rtt time.Duration, err error) {
 	}
 	c := o.c
 	if err == nil {
+		if c.cfg.Classify != nil {
+			if cerr := c.cfg.Classify(resp); cerr != nil {
+				o.completeShed(cerr)
+				return
+			}
+		}
 		if !c.cfg.Breaker.Disabled {
 			c.breaker(o.to).Success()
 		}
@@ -265,6 +275,47 @@ func (o *op) complete(isHedge bool, resp any, rtt time.Duration, err error) {
 		o.retrans = true
 		c.m.retries.Inc()
 		o.retryTimer = c.rpc.Node().AfterTimer(c.bo.Delay(o.id, o.attempts), o.fireRetry)
+		return
+	}
+	if o.inflight == 0 && !o.retryPending {
+		o.finish(nil, o.lastErr)
+	}
+}
+
+// retryAfterHinter is the structural contract a classified error may
+// implement to pace the retry; *overload.ErrOverloaded satisfies it. The
+// interface lives here (and is matched structurally) so resil and
+// overload need not import each other.
+type retryAfterHinter interface {
+	RetryAfterHint() time.Duration
+}
+
+// completeShed handles a classified server shed: a deliberate,
+// explicitly-retryable refusal from a live peer. The breaker records a
+// success, the estimator is left alone (Karn's retrans flag stays clear
+// too — the eventual data reply is an unambiguous, clean sample), and the
+// next attempt waits max(server hint, backoff). Exhausted attempts fail
+// the operation with the classified error so callers can fail over.
+func (o *op) completeShed(cerr error) {
+	c := o.c
+	if !c.cfg.Breaker.Disabled {
+		c.breaker(o.to).Success()
+	}
+	if c.mShed == nil {
+		c.mShed = c.rpc.Node().Obs().Counter("resil.shed.count")
+	}
+	c.mShed.Inc()
+	o.lastErr = cerr
+	if o.attempts < c.cfg.MaxAttempts && !o.retryPending {
+		delay := c.bo.Delay(o.id, o.attempts)
+		if h, ok := cerr.(retryAfterHinter); ok {
+			if hint := h.RetryAfterHint(); hint > delay {
+				delay = hint
+			}
+		}
+		o.retryPending = true
+		c.m.retries.Inc()
+		o.retryTimer = c.rpc.Node().AfterTimer(delay, o.fireRetry)
 		return
 	}
 	if o.inflight == 0 && !o.retryPending {

@@ -46,6 +46,19 @@ type Config struct {
 	Backoff     BackoffConfig
 	Breaker     BreakerConfig
 	Hedge       HedgeConfig
+	// Classify, when non-nil, inspects each successful response payload
+	// for an application-level refusal (e.g. overload.Shed, via
+	// overload.Classify). A non-nil classification is an explicitly
+	// retryable outcome from a live peer, handled unlike a failure: the
+	// breaker records a success (a server deliberately shedding load is
+	// alive — shed storms must never trip breakers and amplify the
+	// outage), no RTT sample is fed (sheds return in near-zero service
+	// time and would drag the estimator below real service RTTs), and the
+	// retry waits for the server's RetryAfterHint() — when the error
+	// carries one — or the backoff, whichever is longer. When attempts are
+	// exhausted the operation fails with the classified error. Nil keeps
+	// historical behaviour bit for bit.
+	Classify func(resp any) error
 }
 
 // RTOConfig clamps the Jacobson/Karels estimator.

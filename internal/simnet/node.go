@@ -23,6 +23,15 @@ type Node struct {
 
 	uplinkFree   time.Duration
 	downlinkFree time.Duration
+	// uplinkCtrlFree is the control lane's serialization cursor, consulted
+	// only when prioUplink is set (SetPriorityUplink).
+	uplinkCtrlFree time.Duration
+	prioUplink     bool
+	// qDeparts/qHead approximate the uplink queue occupancy when the
+	// network's queue metrics are on: departure times of recent sends,
+	// drained from the front as virtual time passes them.
+	qDeparts []time.Duration
+	qHead    int
 
 	handlers       map[string]Handler
 	defaultHandler Handler
@@ -181,9 +190,110 @@ func (n *Node) Handle(kind string, h Handler) { n.handlers[kind] = h }
 // handler.
 func (n *Node) HandleDefault(h Handler) { n.defaultHandler = h }
 
-// Send transmits a message from this node.
+// Send transmits a message from this node on the bulk lane.
 func (n *Node) Send(to NodeID, kind string, payload any, size int) bool {
 	return n.nw.Send(Message{From: n.id, To: to, Kind: kind, Payload: payload, Size: size})
+}
+
+// SendLane transmits a message on an explicit uplink lane. Lanes only
+// change scheduling on nodes that enabled the priority uplink.
+func (n *Node) SendLane(to NodeID, kind string, payload any, size int, lane Lane) bool {
+	return n.nw.Send(Message{From: n.id, To: to, Kind: kind, Payload: payload, Size: size, Lane: lane})
+}
+
+// SetPriorityUplink switches the node's uplink between plain FIFO
+// serialization (the historical model, default) and a two-lane strict
+// priority discipline: LaneCtrl frames serialize among themselves from the
+// control cursor and push any queued bulk backlog back by their own
+// serialization time, so control traffic sees only other control traffic
+// ahead of it — the approximation of a priority queue expressible with
+// per-lane cursors. With the flag off the ctrl cursor is never consulted
+// and the send path is byte-identical to history.
+func (n *Node) SetPriorityUplink(on bool) { n.prioUplink = on }
+
+// serialize charges ser of uplink serialization to the node at virtual
+// time now and returns the message's departure time. Bulk frames wait for
+// both cursors (a control frame in flight occupies the physical link);
+// control frames wait only for earlier control frames.
+func (n *Node) serialize(lane Lane, now, ser time.Duration) time.Duration {
+	if n.prioUplink && lane == LaneCtrl {
+		start := now
+		if n.uplinkCtrlFree > start {
+			start = n.uplinkCtrlFree
+		}
+		depart := start + ser
+		n.uplinkCtrlFree = depart
+		// Control preempts: queued bulk bytes lose the link for ser.
+		if n.uplinkFree > now {
+			n.uplinkFree += ser
+		} else if n.uplinkFree < depart {
+			n.uplinkFree = depart
+		}
+		return depart
+	}
+	start := now
+	if n.uplinkFree > start {
+		start = n.uplinkFree
+	}
+	if n.prioUplink && n.uplinkCtrlFree > start {
+		start = n.uplinkCtrlFree
+	}
+	depart := start + ser
+	n.uplinkFree = depart
+	return depart
+}
+
+// UplinkBacklog reports how far the node's bulk uplink cursor is already
+// committed past the node's current virtual time: the serialization wait
+// a bulk frame sent right now would see before its first byte leaves.
+// Zero on an idle (or unbounded-bandwidth) link. Server-side overload
+// control reads this as its ground-truth congestion signal — a reply
+// "in service" until the backlog it joined has drained is a reply whose
+// service time includes the queueing the link is actually doing.
+func (n *Node) UplinkBacklog() time.Duration {
+	if b := n.uplinkFree - n.Now(); b > 0 {
+		return b
+	}
+	return 0
+}
+
+// noteQueue records one uplink queue observation (depth including this
+// message, and this message's sojourn until departure). Only called when
+// Network.EnableQueueMetrics is set, so default runs never touch it.
+func (n *Node) noteQueue(now, depart time.Duration) {
+	for n.qHead < len(n.qDeparts) && n.qDeparts[n.qHead] <= now {
+		n.qHead++
+	}
+	if n.qHead == len(n.qDeparts) {
+		n.qDeparts, n.qHead = n.qDeparts[:0], 0
+	} else if n.qHead > 1024 {
+		n.qDeparts = append(n.qDeparts[:0], n.qDeparts[n.qHead:]...)
+		n.qHead = 0
+	}
+	n.qDeparts = append(n.qDeparts, depart)
+	depth := float64(len(n.qDeparts) - n.qHead)
+	m := queueMetricsFor(n.Obs())
+	m.depthGauge.Set(depth)
+	m.depth.Observe(depth)
+	m.sojourn.Observe((depart - now).Seconds())
+}
+
+// netQueueMetrics is the per-registry bundle behind EnableQueueMetrics,
+// resolved once per registry via Memo (shard registries each get their
+// own; histogram merges and gauge averaging keep exports layout-stable).
+type netQueueMetrics struct {
+	depthGauge     *obs.Gauge
+	depth, sojourn *obs.Histogram
+}
+
+func queueMetricsFor(r *obs.Registry) *netQueueMetrics {
+	return r.Memo("netqueue", func() any {
+		return &netQueueMetrics{
+			depthGauge: r.Gauge("net.queue.depth"),
+			depth:      r.Histogram("net.queue.depth"),
+			sojourn:    r.Histogram("net.queue.sojourn_s"),
+		}
+	}).(*netQueueMetrics)
 }
 
 // Crash takes the node down: in-flight messages to it will be dropped at

@@ -84,11 +84,16 @@ const rpcKind = "simnet.rpc"
 // RPCNode augments a Node with request/response plumbing. Create one per
 // node that participates in RPC traffic.
 type RPCNode struct {
-	n            *Node
-	nextID       uint64
-	pending      map[uint64]*pendingCall
-	servers      map[string]RPCHandler
-	asyncServers map[string]RPCAsyncHandler
+	n               *Node
+	nextID          uint64
+	pending         map[uint64]*pendingCall
+	servers         map[string]RPCHandler
+	asyncServers    map[string]RPCAsyncHandler
+	deferredServers map[string]RPCDeferredHandler
+	// laneOf assigns uplink lanes per method: both the request and the
+	// reply of a lane-stamped method travel on that lane. nil (the default)
+	// means every method rides the bulk lane, with no per-message lookup.
+	laneOf map[string]Lane
 }
 
 // pendingCall is one outstanding request on the caller. It doubles as the
@@ -166,10 +171,11 @@ func NewRPCNode(n *Node) *RPCNode {
 		return n.rpc
 	}
 	r := &RPCNode{
-		n:            n,
-		pending:      map[uint64]*pendingCall{},
-		servers:      map[string]RPCHandler{},
-		asyncServers: map[string]RPCAsyncHandler{},
+		n:               n,
+		pending:         map[uint64]*pendingCall{},
+		servers:         map[string]RPCHandler{},
+		asyncServers:    map[string]RPCAsyncHandler{},
+		deferredServers: map[string]RPCDeferredHandler{},
 	}
 	n.rpc = r
 	n.Handle(rpcKind, r.onMessage)
@@ -215,6 +221,73 @@ func (r *RPCNode) Serve(method string, h RPCHandler) { r.servers[method] = h }
 // ServeAsync registers an asynchronous handler for method; it takes
 // precedence over a synchronous handler of the same name.
 func (r *RPCNode) ServeAsync(method string, h RPCAsyncHandler) { r.asyncServers[method] = h }
+
+// RPCDeferredHandler serves a method by completing a ReplyToken, possibly
+// from a later event. Unlike RPCAsyncHandler the token is a plain value —
+// no closure is allocated per request — which is what lets a server queue
+// thousands of requests (internal/overload) without touching the heap in
+// steady state. The handler (or whatever it hands the token to) must call
+// Reply exactly once per token.
+type RPCDeferredHandler func(from NodeID, req any, tok ReplyToken)
+
+// ReplyToken identifies one outstanding deferred request. The zero value
+// is inert; tokens are plain values and may be copied freely.
+type ReplyToken struct {
+	r      *RPCNode
+	id     uint64
+	from   NodeID
+	method string
+}
+
+// From returns the calling node's ID.
+func (t ReplyToken) From() NodeID { return t.from }
+
+// Method returns the requested method name.
+func (t ReplyToken) Method() string { return t.method }
+
+// Reply sends the response back to the caller. It must be called exactly
+// once per token; calling it on a zero token is a no-op.
+func (t ReplyToken) Reply(resp any, respSize int) {
+	if t.r == nil {
+		return
+	}
+	reply := newEnvelope(t.r.n.nw)
+	reply.id, reply.method, reply.isReply = t.id, t.method, true
+	reply.payload, reply.ok = resp, true
+	t.r.sendEnvelope(t.from, reply, respSize+64)
+}
+
+// ServeDeferred registers a deferred handler for method; it takes
+// precedence over both async and synchronous handlers of the same name.
+func (r *RPCNode) ServeDeferred(method string, h RPCDeferredHandler) {
+	r.deferredServers[method] = h
+}
+
+// SetMethodLane assigns an uplink lane to a method: requests and replies
+// of that method are sent with the lane stamped, so on priority-enabled
+// uplinks (Node.SetPriorityUplink) they serialize on the control cursor.
+// Methods default to LaneBulk; stamping LaneBulk removes an assignment.
+func (r *RPCNode) SetMethodLane(method string, lane Lane) {
+	if lane == LaneBulk {
+		if r.laneOf != nil {
+			delete(r.laneOf, method)
+		}
+		return
+	}
+	if r.laneOf == nil {
+		r.laneOf = map[string]Lane{}
+	}
+	r.laneOf[method] = lane
+}
+
+// sendEnvelope transmits an RPC envelope on its method's assigned lane.
+func (r *RPCNode) sendEnvelope(to NodeID, env *rpcEnvelope, size int) {
+	var lane Lane
+	if r.laneOf != nil {
+		lane = r.laneOf[env.method]
+	}
+	r.n.SendLane(to, rpcKind, env, size, lane)
+}
 
 // Call issues an asynchronous request to the target's method. done is
 // invoked exactly once: with the response payload on success, or with a
@@ -274,7 +347,7 @@ func (r *RPCNode) start(to NodeID, method string, req any, reqSize int, timeout 
 	r.pending[id] = pc
 	env := newEnvelope(r.n.nw)
 	env.id, env.method, env.payload = id, method, req
-	r.n.Send(to, rpcKind, env, reqSize+64)
+	r.sendEnvelope(to, env, reqSize+64)
 	// The timeout runs on the caller's local clock: a fast-skewed node
 	// gives up on its peers early, a slow one hangs on.
 	pc.timeout = r.n.AfterCall(timeout, rpcTimeoutEvent, pc)
@@ -330,8 +403,13 @@ func (r *RPCNode) onMessage(msg Message) {
 			reply := newEnvelope(r.n.nw)
 			reply.id, reply.method, reply.isReply = id, method, true
 			reply.payload, reply.ok = resp, true
-			r.n.Send(from, rpcKind, reply, respSize+64)
+			r.sendEnvelope(from, reply, respSize+64)
 		})
+		return
+	}
+	if dh, served := r.deferredServers[method]; served {
+		releaseEnvelope(env)
+		dh(msg.From, payload, ReplyToken{r: r, id: id, from: msg.From, method: method})
 		return
 	}
 	h, served := r.servers[method]
@@ -352,5 +430,5 @@ func (r *RPCNode) onMessage(msg Message) {
 		reply.recycle = r.n.nw.fault.Duplicate <= 0
 	}
 	reply.isReply, reply.payload, reply.ok = true, resp, served
-	r.n.Send(msg.From, rpcKind, reply, respSize+64)
+	r.sendEnvelope(msg.From, reply, respSize+64)
 }

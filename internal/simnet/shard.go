@@ -329,14 +329,18 @@ func (nw *Network) sendSharded(msg Message) bool {
 		}
 	}
 
+	// Uplink serialization mirrors the single-heap path exactly: lane-aware
+	// on priority-enabled nodes, plain FIFO otherwise. The cursors and the
+	// queue-metric state are sender-owned, so touching them from the
+	// sender's shard is race-free.
 	now := ssh.now
 	depart := now
 	if src.profile.UplinkBps > 0 {
-		if src.uplinkFree > depart {
-			depart = src.uplinkFree
+		ser := secondsToDuration(float64(msg.Size*8) / src.profile.UplinkBps)
+		depart = src.serialize(msg.Lane, now, ser)
+		if nw.queueMetrics {
+			src.noteQueue(now, depart)
 		}
-		depart += secondsToDuration(float64(msg.Size*8) / src.profile.UplinkBps)
-		src.uplinkFree = depart
 	}
 	delay := src.profile.Latency + dst.profile.Latency
 	if nw.regionOf != nil {

@@ -57,7 +57,27 @@ type Message struct {
 	Kind     string
 	Payload  any
 	Size     int
+	// Lane selects the sender's uplink serialization class. The zero value
+	// is the bulk lane, and lanes only matter on nodes that opted into the
+	// priority uplink (Node.SetPriorityUplink), so historical traffic is
+	// untouched.
+	Lane Lane
 }
+
+// Lane identifies an uplink serialization class (see Node.SetPriorityUplink).
+type Lane uint8
+
+const (
+	// LaneBulk is the default best-effort lane; all traffic historically
+	// travelled here.
+	LaneBulk Lane = iota
+	// LaneCtrl is the strict-priority control lane: on a priority-enabled
+	// uplink, control frames serialize ahead of any queued bulk backlog, so
+	// a saturated server keeps its control plane (adverts, directory ops,
+	// pings) responsive. On a default uplink LaneCtrl behaves exactly like
+	// LaneBulk.
+	LaneCtrl
+)
 
 // Handler processes a delivered message on the receiving node.
 type Handler func(msg Message)
@@ -162,7 +182,12 @@ type Network struct {
 	// the default send path is untouched.
 	regionOf    map[NodeID]int
 	regionExtra [][]time.Duration
-	trace       Trace
+	// queueMetrics opts the send path into recording uplink queue
+	// depth/sojourn observations (EnableQueueMetrics). Off by default: the
+	// observations create new registry entries, which would perturb the
+	// exported snapshots of historical experiments.
+	queueMetrics bool
+	trace        Trace
 	// latency holds per-message-kind delivery latency histograms, created
 	// lazily on first delivery of each kind. lastKind/lastLatency memoize
 	// the most recent lookup: large-population traffic arrives in long runs
@@ -566,6 +591,16 @@ func (nw *Network) SetRegionMatrix(region map[NodeID]int, extra [][]time.Duratio
 	nw.regionOf, nw.regionExtra = region, extra
 }
 
+// EnableQueueMetrics starts recording per-send uplink queue observations
+// into each sender's registry: a net.queue.depth gauge+histogram (messages
+// queued on the uplink, including the one being recorded) and a
+// net.queue.sojourn_s histogram (queueing plus serialization delay until
+// the message departs). Like SetRegionMatrix, the hook is default-off and
+// draws no randomness either way, so networks that never enable it keep
+// their exported snapshots bit for bit — the guarantee the pre-X20
+// experiment goldens rely on.
+func (nw *Network) EnableQueueMetrics() { nw.queueMetrics = true }
+
 // SetLinkFault installs f as the network-wide in-flight fault model;
 // the zero LinkFault turns injection off.
 func (nw *Network) SetLinkFault(f LinkFault) { nw.fault = f }
@@ -680,15 +715,15 @@ func (nw *Network) Send(msg Message) bool {
 	}
 
 	// Serialization on the sender's uplink: the message waits for the
-	// uplink to free, then occupies it for size/rate.
+	// uplink to free, then occupies it for size/rate. Lane-aware on nodes
+	// that enabled the priority uplink; plain FIFO otherwise.
 	depart := nw.now
 	if src.profile.UplinkBps > 0 {
-		if src.uplinkFree > depart {
-			depart = src.uplinkFree
-		}
 		ser := secondsToDuration(float64(msg.Size*8) / src.profile.UplinkBps)
-		depart += ser
-		src.uplinkFree = depart
+		depart = src.serialize(msg.Lane, nw.now, ser)
+		if nw.queueMetrics {
+			src.noteQueue(nw.now, depart)
+		}
 	}
 	// Propagation + jitter. An installed region matrix (opt-in; see
 	// SetRegionMatrix) adds its pairwise inter-region delay.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/overload"
 	"repro/internal/simnet"
 )
 
@@ -130,6 +131,13 @@ type ProviderConfig struct {
 	// storage.gc.reclaimed_bytes into the node's obs registry. Off by
 	// default so historical worlds keep their exact metric sets.
 	Metrics bool
+	// Overload, when enabled, puts the provider's data plane (get) behind
+	// server-side overload control while the coordination and audit
+	// methods — has/pin/unpin/release and all proof challenges, each a
+	// deadline-sensitive answer far smaller than a chunk — ride the
+	// priority control lane. Off by default: the zero value is a strict
+	// passthrough, keeping historical worlds byte-identical.
+	Overload overload.Config
 }
 
 // NewProvider starts a provider with the given capacity (bytes) and cheat
@@ -160,16 +168,17 @@ func NewProviderWith(node *simnet.Node, cfg ProviderConfig) *Provider {
 		p.store.AttachMetrics(node.Obs())
 	}
 	cheat := cfg.Cheat
+	ov := overload.New(p.rpc, cfg.Overload)
 	p.rpc.Serve(methodPut, p.onPut)
-	p.rpc.Serve(methodGet, p.onGet)
-	p.rpc.Serve(methodHas, p.onHas)
-	p.rpc.Serve(methodPin, p.onPin)
-	p.rpc.Serve(methodUnpin, p.onUnpin)
-	p.rpc.Serve(methodRelease, p.onRelease)
-	p.rpc.Serve(methodChallenge, p.onChallenge)
-	p.rpc.Serve(methodRetChallenge, p.onRetChallenge)
 	p.rpc.Serve(methodPutSealed, p.onPutSealed)
-	p.rpc.Serve(methodRepChallenge, p.onRepChallenge)
+	ov.Protect(methodGet, p.onGet)
+	ov.Control(methodHas, p.onHas)
+	ov.Control(methodPin, p.onPin)
+	ov.Control(methodUnpin, p.onUnpin)
+	ov.Control(methodRelease, p.onRelease)
+	ov.Control(methodChallenge, p.onChallenge)
+	ov.Control(methodRetChallenge, p.onRetChallenge)
+	ov.Control(methodRepChallenge, p.onRepChallenge)
 	if cheat == OutsourceFetch {
 		// The outsourcing attacker answers data requests and proofs by
 		// first fetching the chunk from an accomplice — correct answers,

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cryptoutil"
 	"repro/internal/dht"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/resil"
 	"repro/internal/simnet"
 )
@@ -36,11 +37,22 @@ type peersResp struct {
 	Seeders []simnet.NodeID
 }
 
-// NewTracker starts a tracker on node.
+// NewTracker starts a tracker on node in the historical configuration
+// (no overload control).
 func NewTracker(node *simnet.Node) *Tracker {
+	return NewTrackerWith(node, overload.Config{})
+}
+
+// NewTrackerWith starts a tracker with explicit overload control. The
+// tracker is pure control plane — announce and peer lookups are the RPCs
+// a flash crowd needs answered to spread load — so both methods register
+// as Control: never queued or shed, and riding the priority lane when
+// enabled. The zero Config is a passthrough identical to NewTracker.
+func NewTrackerWith(node *simnet.Node, ocfg overload.Config) *Tracker {
 	t := &Tracker{rpc: simnet.NewRPCNode(node), seeders: map[cryptoutil.Hash][]simnet.NodeID{}}
-	t.rpc.Serve(methodAnnounce, t.onAnnounce)
-	t.rpc.Serve(methodPeers, t.onPeers)
+	ov := overload.New(t.rpc, ocfg)
+	ov.Control(methodAnnounce, t.onAnnounce)
+	ov.Control(methodPeers, t.onPeers)
 	return t
 }
 
@@ -109,10 +121,31 @@ func NewPeer(node *simnet.Node, d *dht.Peer, tracker simnet.NodeID, timeout time
 // the peer's own fetches (manifest, blob, and tracker RPCs). The DHT leg
 // of a Visit is tuned separately through dht.Config.Resilience.
 func NewPeerWith(node *simnet.Node, d *dht.Peer, tracker simnet.NodeID, timeout time.Duration, rcfg resil.Config) *Peer {
+	return NewPeerCfg(node, d, tracker, timeout, PeerConfig{Resilience: rcfg})
+}
+
+// PeerConfig bundles a web peer's client- and server-side robustness
+// layers. The zero value is the historical peer: fixed-timeout fetches,
+// unbounded serving.
+type PeerConfig struct {
+	// Resilience tunes the peer's own fetches (see NewPeerWith).
+	Resilience resil.Config
+	// Overload, when enabled, puts the peer's serving methods behind
+	// server-side overload control: blob serving is the bulk plane
+	// (bounded queue, admission control), manifest serving and the peer's
+	// own tracker announces ride the control lane — a seeder saturated by
+	// a flash crowd keeps handing out the (tiny, swarm-unlocking)
+	// manifests and keeps itself announced.
+	Overload overload.Config
+}
+
+// NewPeerCfg is the fully-configured constructor behind NewPeer and
+// NewPeerWith.
+func NewPeerCfg(node *simnet.Node, d *dht.Peer, tracker simnet.NodeID, timeout time.Duration, cfg PeerConfig) *Peer {
 	rpc := simnet.NewRPCNode(node)
 	p := &Peer{
 		rpc:          rpc,
-		res:          resil.New(rpc, rcfg),
+		res:          resil.New(rpc, cfg.Resilience),
 		dht:          d,
 		tracker:      tracker,
 		timeout:      timeout,
@@ -122,8 +155,10 @@ func NewPeerWith(node *simnet.Node, d *dht.Peer, tracker simnet.NodeID, timeout 
 		obsVisitFail: node.Obs().Counter("webapp.visit.fail"),
 		obsServes:    node.Obs().Counter("webapp.blob.served"),
 	}
-	p.rpc.Serve(methodBlob, p.onBlob)
-	p.rpc.Serve(methodManifest, p.onManifest)
+	ov := overload.New(rpc, cfg.Overload)
+	ov.Protect(methodBlob, p.onBlob)
+	ov.Control(methodManifest, p.onManifest)
+	ov.MarkControl(methodAnnounce)
 	// Re-announce everything after a restart so the swarm finds us again.
 	node.OnUp(func() {
 		for site := range p.sites {

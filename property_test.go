@@ -18,6 +18,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/experiments"
 	"repro/internal/gossip"
+	"repro/internal/overload"
 	"repro/internal/replic"
 	"repro/internal/resil"
 	"repro/internal/simnet"
@@ -572,6 +573,157 @@ func TestQuickReplicRankTotalOrder(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(prop, quickCfg(197, 150)); err != nil {
+		t.Error(err)
+	}
+}
+
+// overloadQuickWorld builds one saturable overload world: a server on a
+// jitter-free constrained uplink (so reply order is exactly queue order —
+// the discipline under test, not link noise) behind the given config,
+// plus n zero-profile clients.
+func overloadQuickWorld(seed int64, n int, cfg overload.Config) (*simnet.Network, *overload.Server, *simnet.RPCNode, []*simnet.RPCNode) {
+	nw := simnet.New(seed)
+	srvNode := nw.AddNodeWithProfile(simnet.LinkProfile{
+		Latency: 25 * time.Millisecond, UplinkBps: 1e6, DownlinkBps: 20e6,
+	})
+	srv := simnet.NewRPCNode(srvNode)
+	ov := overload.New(srv, cfg)
+	clients := make([]*simnet.RPCNode, n)
+	for i := range clients {
+		clients[i] = simnet.NewRPCNode(nw.AddNode())
+	}
+	return nw, ov, srv, clients
+}
+
+// TestQuickOverloadLimitWithinBounds: whatever the drawn AIMD bounds,
+// queue length, and offered load, the admission controller's concurrency
+// limit stays inside [MinLimit, MaxLimit] at every sampled instant —
+// additive increase clamps at the ceiling and the multiplicative cut at
+// the floor, never beyond.
+func TestQuickOverloadLimitWithinBounds(t *testing.T) {
+	prop := func(seed int64, rawMin, rawSpan, rawQ, rawClients uint8) bool {
+		minL := 1 + int(rawMin)%4
+		maxL := minL + int(rawSpan)%8
+		cfg := overload.Config{
+			Enabled: true, QueueLen: 4 + int(rawQ)%32,
+			Target: 200 * time.Millisecond, SLO: time.Second,
+			MinLimit: minL, MaxLimit: maxL,
+			RetryAfterBase: 250 * time.Millisecond,
+		}
+		n := 4 + int(rawClients)%12
+		nw, ov, srv, clients := overloadQuickWorld(seed%(1<<30), n, cfg)
+		ov.Protect("get", func(from simnet.NodeID, req any) (any, int) { return req, 32 << 10 })
+		inBounds := true
+		check := func() {
+			if l := ov.Limit(); l < float64(minL) || l > float64(maxL) {
+				inBounds = false
+			}
+		}
+		for i := 0; i < 60; i++ {
+			at := time.Duration(i) * time.Second
+			nw.Schedule(at, check)
+			for c := 0; c < n; c++ {
+				c := c
+				nw.Schedule(at+time.Duration(c)*37*time.Millisecond, func() {
+					clients[c].Call(srv.Node().ID(), "get", c, 64, 30*time.Second, func(any, error) {})
+				})
+			}
+		}
+		nw.Run(2 * time.Minute)
+		check()
+		return inBounds
+	}
+	if err := quick.Check(prop, quickCfg(2020, 4)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOverloadAdmissionDeterministic: the full admission transcript
+// — per-request admit/shed outcome in completion order plus every
+// overload counter — is a pure function of (seed, population, request
+// count). Two runs of the same draw must match byte for byte; this is
+// the property the X20 bench golden pins at experiment scale.
+func TestQuickOverloadAdmissionDeterministic(t *testing.T) {
+	run := func(seed int64, n, reqs int) string {
+		cfg := overload.Config{
+			Enabled: true, QueueLen: 8,
+			Target: 200 * time.Millisecond, SLO: time.Second,
+			MinLimit: 1, MaxLimit: 4, RetryAfterBase: 250 * time.Millisecond,
+		}
+		nw, ov, srv, clients := overloadQuickWorld(seed, n, cfg)
+		ov.Protect("get", func(from simnet.NodeID, req any) (any, int) { return req, 24 << 10 })
+		var transcript []string
+		for c := 0; c < n; c++ {
+			c := c
+			for k := 0; k < reqs; k++ {
+				k := k
+				nw.Schedule(time.Duration(c*73+k*211)*time.Millisecond, func() {
+					clients[c].Call(srv.Node().ID(), "get", k, 64, 30*time.Second, func(resp any, err error) {
+						transcript = append(transcript, fmt.Sprintf("%d.%d:%v:%v", c, k, overload.IsShed(resp), err == nil))
+					})
+				})
+			}
+		}
+		nw.Run(2 * time.Minute)
+		reg := nw.Obs()
+		return fmt.Sprintf("%v|off=%d adm=%d q=%d shed=%d codel=%d", transcript,
+			reg.Counter("overload.offered").Value(), reg.Counter("overload.admitted").Value(),
+			reg.Counter("overload.queued").Value(), reg.Counter("overload.shed").Value(),
+			reg.Counter("overload.codel.dropped").Value())
+	}
+	prop := func(seed int64, rawN, rawR uint8) bool {
+		s := seed % (1 << 30)
+		n := 2 + int(rawN)%8
+		reqs := 4 + int(rawR)%16
+		return run(s, n, reqs) == run(s, n, reqs)
+	}
+	if err := quick.Check(prop, quickCfg(2021, 4)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOverloadSurvivorFIFO: however the CoDel front-drop and the
+// admission sheds carve up a saturated queue, the requests that survive
+// to be served complete in per-sender FIFO order — dropping from the
+// front can only remove elements, never reorder the rest. (Jitter-free
+// links in overloadQuickWorld make reply arrival order equal to service
+// order, so a violation here is a queue-discipline bug, not link noise.)
+func TestQuickOverloadSurvivorFIFO(t *testing.T) {
+	prop := func(seed int64, rawSenders, rawReqs uint8) bool {
+		nSend := 2 + int(rawSenders)%8
+		nReq := 4 + int(rawReqs)%24
+		cfg := overload.Config{
+			Enabled: true, QueueLen: 8,
+			Target: 100 * time.Millisecond, SLO: 500 * time.Millisecond,
+			MinLimit: 1, MaxLimit: 2, RetryAfterBase: 100 * time.Millisecond,
+		}
+		nw, ov, srv, clients := overloadQuickWorld(seed%(1<<30), nSend, cfg)
+		ov.Protect("get", func(from simnet.NodeID, req any) (any, int) { return req, 24 << 10 })
+		served := make([][]int, nSend)
+		for c := 0; c < nSend; c++ {
+			c := c
+			for k := 0; k < nReq; k++ {
+				k := k
+				nw.Schedule(time.Duration(c*61+k*157)*time.Millisecond, func() {
+					clients[c].Call(srv.Node().ID(), "get", k, 64, 30*time.Second, func(resp any, err error) {
+						if err == nil && !overload.IsShed(resp) {
+							served[c] = append(served[c], k)
+						}
+					})
+				})
+			}
+		}
+		nw.Run(2 * time.Minute)
+		for c := range served {
+			for i := 1; i < len(served[c]); i++ {
+				if served[c][i] <= served[c][i-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(2022, 5)); err != nil {
 		t.Error(err)
 	}
 }

@@ -38,6 +38,10 @@ grep -q '"id": "x19"' BENCH_baseline.json || {
 	echo "bench gate: BENCH_baseline.json has no x19 entry; regenerate the baseline" >&2
 	exit 1
 }
+grep -q '"id": "x20"' BENCH_baseline.json || {
+	echo "bench gate: BENCH_baseline.json has no x20 entry; regenerate the baseline" >&2
+	exit 1
+}
 
 echo "bench gate: running deterministic bench (seed 42, full scale)"
 "$tmp/feudalism" bench -scale full -seed 42 -trials 1 -json "$tmp/bench.json"

@@ -87,6 +87,15 @@ if ! find internal/replic -name '*.go' ! -name '*_test.go' | grep -q .; then
     exit 1
 fi
 
+# Server-side overload control draws no randomness at all: admission,
+# AIMD, CoDel, and the shed-hint ladder are pure functions of virtual
+# time and config — it must stay inside the sweep, or X20 stops
+# replaying.
+if ! find internal/overload -name '*.go' ! -name '*_test.go' | grep -q .; then
+    echo "determinism lint: internal/overload sources missing from the sweep" >&2
+    exit 1
+fi
+
 if [ "$bad" -ne 0 ]; then
     echo "determinism lint: FAILED" >&2
     exit 1
